@@ -1,0 +1,84 @@
+// Command figures regenerates the tables and figures of the FlexVC paper's
+// evaluation section (Tables I-IV, Figures 5-11) as plain-text reports.
+//
+// Examples:
+//
+//	figures -list
+//	figures -exp table3
+//	figures -exp fig5 -scale small -seeds 3
+//	figures -exp all -quick -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"flexvc/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "list available experiments and exit")
+		exp      = fs.String("exp", "", "experiment to run (table1..table4, fig5..fig11, or 'all')")
+		scale    = fs.String("scale", "small", "system scale: small, medium or paper")
+		seeds    = fs.Int("seeds", 1, "independent replications per point (the paper uses 5)")
+		parallel = fs.Int("parallel", 4, "simulations to run concurrently")
+		quick    = fs.Bool("quick", false, "trim sweeps for a fast smoke run")
+		out      = fs.String("out", "", "directory to write one report file per experiment (default: stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		reg := sweep.Registry()
+		for _, id := range sweep.IDs() {
+			fmt.Printf("  %-8s %s\n", id, reg[id].Title)
+		}
+		return nil
+	}
+	if *exp == "" {
+		return fmt.Errorf("missing -exp (use -list to see the available experiments)")
+	}
+
+	opts := sweep.Options{Scale: *scale, Seeds: *seeds, Parallelism: *parallel, Quick: *quick}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = sweep.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := sweep.Run(id, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		text := rep.Render() + fmt.Sprintf("\n(generated in %s)\n", time.Since(start).Round(time.Millisecond))
+		if *out == "" {
+			fmt.Println(text)
+			continue
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(*out, id+".txt")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%s)\n", path, time.Since(start).Round(time.Millisecond))
+	}
+	if *exp == "all" && *out != "" {
+		fmt.Printf("all %d experiments written to %s\n", len(ids), *out)
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+// Command flexvcsim runs a single cycle-accurate simulation of a low-diameter
+// network with a chosen buffer-management scheme (baseline fixed-order VCs,
+// FlexVC or FlexVC-minCred), routing algorithm and traffic pattern, and
+// prints the measured latency and throughput.
+//
+// Examples:
+//
+//	flexvcsim -scale small -traffic un -routing min -policy flexvc -vcs 4/2 -load 0.7
+//	flexvcsim -scale small -traffic adv -routing pb -policy flexvc -mincred \
+//	          -reqvcs 4/2 -repvcs 2/1 -reactive -load 0.3 -seeds 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"flexvc/internal/buffer"
+	"flexvc/internal/config"
+	"flexvc/internal/core"
+	"flexvc/internal/routing"
+	"flexvc/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "flexvcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("flexvcsim", flag.ContinueOnError)
+	var (
+		scale    = fs.String("scale", "small", "system scale: small, medium or paper")
+		traffic  = fs.String("traffic", "un", "traffic pattern: un, adv or bursty-un")
+		reactive = fs.Bool("reactive", false, "enable request-reply traffic")
+		routingF = fs.String("routing", "min", "routing: min, val, par or pb")
+		sensing  = fs.String("sensing", "per-vc", "PB congestion sensing: per-port or per-vc")
+		policy   = fs.String("policy", "baseline", "VC management: baseline or flexvc")
+		minCred  = fs.Bool("mincred", false, "enable FlexVC-minCred credit accounting")
+		vcs      = fs.String("vcs", "2/1", "VCs as local/global (single-class traffic)")
+		reqVCs   = fs.String("reqvcs", "", "request VCs as local/global (reactive traffic)")
+		repVCs   = fs.String("repvcs", "", "reply VCs as local/global (reactive traffic)")
+		selFn    = fs.String("select", "jsq", "FlexVC VC selection: jsq, highest, lowest or random")
+		bufOrg   = fs.String("buffers", "static", "buffer organisation: static or damq")
+		damqPriv = fs.Float64("damq-private", 0.75, "DAMQ private fraction per VC")
+		load     = fs.Float64("load", 0.5, "offered load in phits/node/cycle")
+		seeds    = fs.Int("seeds", 1, "number of independent replications to average")
+		speedup  = fs.Int("speedup", 0, "router speedup override (0 keeps the scale default)")
+		seed     = fs.Int64("seed", 1, "base random seed")
+		verbose  = fs.Bool("v", false, "print per-replication results")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := buildConfig(*scale)
+	if err != nil {
+		return err
+	}
+	cfg.Traffic = config.TrafficKind(normalizeTraffic(*traffic))
+	cfg.Reactive = *reactive
+	cfg.Load = *load
+	cfg.Seed = *seed
+	if *speedup > 0 {
+		cfg.Speedup = *speedup
+	}
+
+	if cfg.Routing, err = routing.ParseKind(*routingF); err != nil {
+		return err
+	}
+	if cfg.Sensing, err = routing.ParseSensing(*sensing); err != nil {
+		return err
+	}
+	if cfg.Scheme, err = buildScheme(*policy, *minCred, *vcs, *reqVCs, *repVCs, *selFn, *reactive); err != nil {
+		return err
+	}
+	switch *bufOrg {
+	case "static":
+		cfg.BufferOrg = buffer.Static
+	case "damq":
+		cfg.BufferOrg = buffer.DAMQ
+		cfg.DAMQPrivateFraction = *damqPriv
+	default:
+		return fmt.Errorf("unknown buffer organisation %q", *bufOrg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Println("configuration:", cfg.Describe())
+	agg, runs, err := sim.RunAveraged(cfg, *seeds)
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		for i, r := range runs {
+			fmt.Printf("  run %d: %v\n", i, r)
+		}
+	}
+	fmt.Printf("result: %v\n", agg)
+	fmt.Printf("  accepted load : %.4f phits/node/cycle\n", agg.AcceptedLoad)
+	fmt.Printf("  avg latency   : %.1f cycles (network-only %.1f)\n", agg.AvgLatency, agg.AvgNetLatency)
+	fmt.Printf("  p50/p95/p99   : %.1f / %.1f / %.1f cycles\n", agg.P50, agg.P95, agg.P99)
+	fmt.Printf("  avg hops      : %.2f, minimally routed %.1f%%\n", agg.AvgHops, 100*agg.MinimalFraction)
+	if agg.Deadlock {
+		fmt.Println("  WARNING: the deadlock watchdog aborted at least one replication")
+	}
+	return nil
+}
+
+func buildConfig(scale string) (config.Config, error) {
+	switch scale {
+	case "small":
+		return config.Small(), nil
+	case "medium":
+		return config.Medium(), nil
+	case "paper", "full":
+		return config.Paper(), nil
+	case "tiny":
+		return config.Tiny(), nil
+	default:
+		return config.Config{}, fmt.Errorf("unknown scale %q", scale)
+	}
+}
+
+func normalizeTraffic(t string) string {
+	switch t {
+	case "un", "uniform":
+		return string(config.TrafficUniform)
+	case "adv", "adversarial":
+		return string(config.TrafficAdversarial)
+	case "bursty", "bursty-un", "bursty-uniform":
+		return string(config.TrafficBursty)
+	default:
+		return t
+	}
+}
+
+// parseVCs parses "local/global" into a SubpathVCs.
+func parseVCs(s string) (core.SubpathVCs, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 {
+		return core.SubpathVCs{}, fmt.Errorf("VC spec %q must be local/global, e.g. 4/2", s)
+	}
+	l, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return core.SubpathVCs{}, err
+	}
+	g, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return core.SubpathVCs{}, err
+	}
+	return core.SubpathVCs{Local: l, Global: g}, nil
+}
+
+func buildScheme(policy string, minCred bool, vcs, reqVCs, repVCs, selFn string, reactive bool) (core.Scheme, error) {
+	var s core.Scheme
+	switch policy {
+	case "baseline", "base":
+		s.Policy = core.Baseline
+	case "flexvc", "flex":
+		s.Policy = core.FlexVC
+	default:
+		return s, fmt.Errorf("unknown policy %q", policy)
+	}
+	s.MinCred = minCred
+	fn, err := core.ParseSelectionFn(selFn)
+	if err != nil {
+		return s, err
+	}
+	s.Selection = fn
+
+	if reactive {
+		if reqVCs == "" || repVCs == "" {
+			// Default to mirroring the single-class spec per subpath.
+			reqVCs, repVCs = vcs, vcs
+		}
+		req, err := parseVCs(reqVCs)
+		if err != nil {
+			return s, err
+		}
+		rep, err := parseVCs(repVCs)
+		if err != nil {
+			return s, err
+		}
+		s.VCs = core.VCConfig{Request: req, Reply: rep}
+		return s, nil
+	}
+	req, err := parseVCs(vcs)
+	if err != nil {
+		return s, err
+	}
+	s.VCs = core.VCConfig{Request: req}
+	return s, nil
+}

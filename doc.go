@@ -1,0 +1,17 @@
+// Package flexvc is a from-scratch Go reproduction of "FlexVC: Flexible
+// Virtual Channel Management in Low-Diameter Networks" (Fuentes, Vallejo,
+// Beivide, Minkenberg, Valero — IPDPS 2017).
+//
+// The repository contains a cycle-level Dragonfly/Flattened-Butterfly network
+// simulator (internal/sim, internal/router, internal/topology, ...), the
+// FlexVC and FlexVC-minCred buffer-management mechanisms together with the
+// classic distance-based baseline (internal/core), the routing algorithms and
+// traffic patterns of the paper's evaluation (internal/routing,
+// internal/traffic) and an experiment harness that regenerates every table
+// and figure of the evaluation section (internal/sweep, cmd/figures).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-versus-measured results. The benchmarks in
+// bench_test.go exercise one experiment per paper table/figure plus the
+// ablations called out in DESIGN.md.
+package flexvc

@@ -1,0 +1,77 @@
+// Adaptive routing under adversarial traffic: the scenario that motivates
+// FlexVC-minCred. Every node sends to the next Dragonfly group, so minimal
+// routing collapses onto a single global link per group and the Piggyback
+// source-adaptive mechanism must detect the congestion and divert traffic
+// onto Valiant paths.
+//
+// The example compares, with request-reply traffic:
+//
+//   - baseline PB (fixed-order VCs, 8/4) with per-VC congestion sensing,
+//   - FlexVC PB (6/3 VCs, 25% less buffering) with plain per-VC sensing,
+//     which loses the ability to identify the traffic pattern, and
+//   - FlexVC-minCred PB (6/3 VCs) with per-port sensing over minimal credits
+//     only, which restores it.
+//
+// Run with:
+//
+//	go run ./examples/adaptive-routing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flexvc/internal/config"
+	"flexvc/internal/core"
+	"flexvc/internal/routing"
+	"flexvc/internal/sim"
+)
+
+type variant struct {
+	name    string
+	scheme  core.Scheme
+	sensing routing.Sensing
+}
+
+func main() {
+	cfg := config.Small()
+	cfg.Traffic = config.TrafficAdversarial
+	cfg.Routing = routing.PB
+	cfg.Reactive = true
+	cfg.Load = 0.3
+
+	variants := []variant{
+		{
+			name:    "PB baseline 8/4, per-VC sensing",
+			scheme:  core.Scheme{Policy: core.Baseline, VCs: core.TwoClass(4, 2, 4, 2), Selection: core.JSQ},
+			sensing: routing.SensePerVC,
+		},
+		{
+			name:    "PB FlexVC 6/3, per-VC sensing",
+			scheme:  core.Scheme{Policy: core.FlexVC, VCs: core.TwoClass(4, 2, 2, 1), Selection: core.JSQ},
+			sensing: routing.SensePerVC,
+		},
+		{
+			name:    "PB FlexVC-minCred 6/3, per-port sensing",
+			scheme:  core.Scheme{Policy: core.FlexVC, VCs: core.TwoClass(4, 2, 2, 1), Selection: core.JSQ, MinCred: true},
+			sensing: routing.SensePerPort,
+		},
+	}
+
+	fmt.Printf("adversarial (+1 group) request-reply traffic at offered load %.2f\n\n", cfg.Load)
+	for _, v := range variants {
+		run := cfg
+		run.Scheme = v.scheme
+		run.Sensing = v.sensing
+		res, err := sim.RunOne(run)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s accepted %.3f  latency %6.0f  minimally-routed %4.1f%%\n",
+			v.name, res.AcceptedLoad, res.AvgLatency, 100*res.MinimalFraction)
+	}
+	fmt.Println("\nFlexVC merges minimal and Valiant traffic in the same buffers, which")
+	fmt.Println("blurs per-VC congestion sensing; tracking credits of minimally routed")
+	fmt.Println("packets separately (minCred) restores the pattern identification with")
+	fmt.Println("25% fewer VCs than the baseline.")
+}

@@ -1,0 +1,69 @@
+// Bursty data-centre style traffic: the BURSTY-UN pattern (a two-state Markov
+// ON/OFF source with uniform destinations, found representative of data-centre
+// workloads) stresses buffer management because whole bursts pile into a
+// single VC. The example measures latency below saturation and the saturation
+// throughput for the baseline, DAMQ and FlexVC organisations.
+//
+// Run with:
+//
+//	go run ./examples/bursty-datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flexvc/internal/buffer"
+	"flexvc/internal/config"
+	"flexvc/internal/core"
+	"flexvc/internal/sim"
+)
+
+func main() {
+	base := config.Small()
+	base.Traffic = config.TrafficBursty
+	base.AvgBurstLength = 5
+
+	type variant struct {
+		name  string
+		apply func(*config.Config)
+	}
+	variants := []variant{
+		{"Baseline 2/1 (static)", func(c *config.Config) {
+			c.Scheme = core.Scheme{Policy: core.Baseline, VCs: core.SingleClass(2, 1), Selection: core.JSQ}
+		}},
+		{"DAMQ 2/1 (75% private)", func(c *config.Config) {
+			c.BufferOrg = buffer.DAMQ
+			c.Scheme = core.Scheme{Policy: core.Baseline, VCs: core.SingleClass(2, 1), Selection: core.JSQ}
+		}},
+		{"FlexVC 2/1", func(c *config.Config) {
+			c.Scheme = core.Scheme{Policy: core.FlexVC, VCs: core.SingleClass(2, 1), Selection: core.JSQ}
+		}},
+		{"FlexVC 4/2", func(c *config.Config) {
+			c.Scheme = core.Scheme{Policy: core.FlexVC, VCs: core.SingleClass(4, 2), Selection: core.JSQ}
+		}},
+	}
+
+	fmt.Println("BURSTY-UN traffic (average burst: 5 packets), MIN routing")
+	fmt.Printf("%-26s %18s %22s\n", "configuration", "latency @ load 0.4", "saturation throughput")
+	for _, v := range variants {
+		midCfg := base
+		midCfg.Load = 0.4
+		v.apply(&midCfg)
+		mid, err := sim.RunOne(midCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		satCfg := base
+		satCfg.Load = 1.0
+		v.apply(&satCfg)
+		sat, err := sim.RunOne(satCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %15.1f cy %18.3f ph/n/cy\n", v.name, mid.AvgLatency, sat.AcceptedLoad)
+	}
+	fmt.Println("\nBursts congest individual VCs; FlexVC absorbs them by letting packets")
+	fmt.Println("use any VC that still preserves a safe escape path.")
+}

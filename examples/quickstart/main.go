@@ -1,0 +1,56 @@
+// Quickstart: simulate a small Dragonfly network under uniform traffic with
+// minimal routing, once with the classic fixed-order VC assignment and once
+// with FlexVC, and compare the throughput and latency the two deliver with
+// exactly the same buffers.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flexvc/internal/config"
+	"flexvc/internal/core"
+	"flexvc/internal/sim"
+)
+
+func main() {
+	// Start from the scaled-down preset (a 9-group, 36-router Dragonfly) and
+	// push it close to saturation, where buffer management matters most.
+	cfg := config.Small()
+	cfg.Traffic = config.TrafficUniform
+	cfg.Load = 0.9
+
+	fmt.Printf("simulating %d routers / %d nodes at offered load %.2f\n\n",
+		mustTopo(cfg).NumRouters(), mustTopo(cfg).NumNodes(), cfg.Load)
+
+	for _, scheme := range []core.Scheme{
+		{Policy: core.Baseline, VCs: core.SingleClass(2, 1), Selection: core.JSQ},
+		{Policy: core.FlexVC, VCs: core.SingleClass(2, 1), Selection: core.JSQ},
+		{Policy: core.FlexVC, VCs: core.SingleClass(4, 2), Selection: core.JSQ},
+	} {
+		cfg.Scheme = scheme
+		result, err := sim.RunOne(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s accepted %.3f phits/node/cycle, avg latency %.0f cycles\n",
+			scheme.Policy.String()+" "+scheme.VCs.String(), result.AcceptedLoad, result.AvgLatency)
+	}
+	fmt.Println("\nFlexVC lifts the saturation throughput with the same buffers, and")
+	fmt.Println("exploits the extra VCs a Valiant-capable router would already have.")
+}
+
+func mustTopo(cfg config.Config) interface {
+	NumRouters() int
+	NumNodes() int
+} {
+	t, err := cfg.BuildTopology()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return t
+}

@@ -1,0 +1,251 @@
+package buffer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flexvc/internal/packet"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if err := StaticConfig(2, 16).Validate(); err != nil {
+		t.Errorf("valid static config rejected: %v", err)
+	}
+	if err := DAMQConfig(2, 32, 0.75).Validate(); err != nil {
+		t.Errorf("valid DAMQ config rejected: %v", err)
+	}
+	bad := []Config{
+		{Org: Static, NumVCs: 0, CapacityPerVC: 16},
+		{Org: Static, NumVCs: 2, CapacityPerVC: -1},
+		{Org: Static, NumVCs: 2, CapacityPerVC: 16, Shared: 8},
+		{Org: DAMQ, NumVCs: 2, CapacityPerVC: 0, Shared: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %v", i, c)
+		}
+	}
+	if got := DAMQConfig(2, 32, 0.75).TotalCapacity(); got != 32 {
+		t.Errorf("DAMQ total capacity %d, want 32 (iso-memory with static)", got)
+	}
+	if got := DAMQConfig(2, 32, 0).CapacityPerVC; got != 0 {
+		t.Errorf("0%% private DAMQ should have no private space, got %d", got)
+	}
+	if got := DAMQConfig(2, 32, 1.5).Shared; got != 0 {
+		t.Errorf("clamped private fraction should leave no shared space, got %d", got)
+	}
+}
+
+func TestStaticReserveRelease(t *testing.T) {
+	b := NewInputBuffer(StaticConfig(2, 16))
+	if b.FreeFor(0) != 16 || b.FreeFor(1) != 16 {
+		t.Fatal("fresh buffer should be empty")
+	}
+	if !b.Reserve(0, 8, packet.Minimal) || !b.Reserve(0, 8, packet.Nonminimal) {
+		t.Fatal("two packets of 8 phits must fit in a 16-phit VC")
+	}
+	if b.Reserve(0, 8, packet.Minimal) {
+		t.Fatal("third packet must not fit")
+	}
+	if b.FreeFor(1) != 16 {
+		t.Fatal("static VCs must not share space")
+	}
+	if b.CommittedOf(0) != 16 || b.MinCommittedOf(0) != 8 {
+		t.Fatalf("committed=%d minCommitted=%d", b.CommittedOf(0), b.MinCommittedOf(0))
+	}
+	b.ReleaseCredit(0, 8, packet.Minimal)
+	if b.CommittedOf(0) != 8 || b.MinCommittedOf(0) != 0 {
+		t.Fatalf("after release: committed=%d minCommitted=%d", b.CommittedOf(0), b.MinCommittedOf(0))
+	}
+	b.ReleaseCredit(0, 8, packet.Nonminimal)
+	if !b.Empty() {
+		t.Fatal("buffer should be empty after releasing everything")
+	}
+}
+
+func TestDAMQSharedPool(t *testing.T) {
+	// 2 VCs, 8 phits private each, 16 shared.
+	b := NewInputBuffer(Config{Org: DAMQ, NumVCs: 2, CapacityPerVC: 8, Shared: 16})
+	if b.FreeFor(0) != 24 {
+		t.Fatalf("VC0 should see private+shared = 24 free, got %d", b.FreeFor(0))
+	}
+	// Fill VC0 with three packets: 8 private + 16 shared.
+	for i := 0; i < 3; i++ {
+		if !b.Reserve(0, 8, packet.Minimal) {
+			t.Fatalf("packet %d should fit in VC0", i)
+		}
+	}
+	if b.FreeFor(0) != 0 {
+		t.Fatalf("VC0 should be exhausted, free=%d", b.FreeFor(0))
+	}
+	// VC1 still has its private reservation even though the pool is gone.
+	if b.FreeFor(1) != 8 {
+		t.Fatalf("VC1 should keep its 8 private phits, got %d", b.FreeFor(1))
+	}
+	if !b.Reserve(1, 8, packet.Nonminimal) {
+		t.Fatal("VC1's private space must still accept a packet")
+	}
+	if b.Reserve(1, 8, packet.Nonminimal) {
+		t.Fatal("nothing left anywhere")
+	}
+	// Releasing from VC0 returns shared space first.
+	b.ReleaseCredit(0, 8, packet.Minimal)
+	if b.FreeFor(1) != 8 {
+		t.Fatalf("released shared space should be visible to VC1, got %d", b.FreeFor(1))
+	}
+	if b.TotalCommitted() != 24 || b.TotalMinCommitted() != 16 {
+		t.Fatalf("totals: committed=%d min=%d", b.TotalCommitted(), b.TotalMinCommitted())
+	}
+	if b.PeakCommitted() != 32 {
+		t.Fatalf("peak should be 32, got %d", b.PeakCommitted())
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	b := NewInputBuffer(StaticConfig(1, 64))
+	p1 := packet.New(1, 0, 1, 8, packet.Request, 0)
+	p2 := packet.New(2, 0, 1, 8, packet.Request, 0)
+	b.Reserve(0, 8, packet.Minimal)
+	b.Enqueue(0, p1, 10, packet.Minimal)
+	b.Reserve(0, 8, packet.Nonminimal)
+	b.Enqueue(0, p2, 12, packet.Nonminimal)
+
+	if b.Head(0, 5) != nil {
+		t.Fatal("head must not be visible before its ready cycle")
+	}
+	if b.Head(0, 10) != p1 {
+		t.Fatal("head should be p1 at cycle 10")
+	}
+	if b.QueueLen(0) != 2 || b.ResidentPackets() != 2 {
+		t.Fatal("queue length broken")
+	}
+	got, kind := b.Dequeue(0)
+	if got != p1 || kind != packet.Minimal {
+		t.Fatal("dequeue should return p1 with its reservation kind")
+	}
+	got, kind = b.Dequeue(0)
+	if got != p2 || kind != packet.Nonminimal {
+		t.Fatal("dequeue should return p2 with its reservation kind")
+	}
+}
+
+func TestBufferPanics(t *testing.T) {
+	b := NewInputBuffer(StaticConfig(1, 16))
+	assertPanics(t, "dequeue empty", func() { b.Dequeue(0) })
+	assertPanics(t, "over-release", func() { b.ReleaseCredit(0, 8, packet.Minimal) })
+	b.Reserve(0, 8, packet.Nonminimal)
+	assertPanics(t, "release wrong kind", func() { b.ReleaseCredit(0, 8, packet.Minimal) })
+	assertPanics(t, "invalid config", func() { NewInputBuffer(Config{Org: Static}) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+// TestBufferInvariantsQuick drives a random reserve/release workload against
+// both organisations and checks the occupancy invariants after every step.
+func TestBufferInvariantsQuick(t *testing.T) {
+	type op struct {
+		vc   int
+		size int
+		kind packet.RouteKind
+	}
+	run := func(cfg Config, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewInputBuffer(cfg)
+		var outstanding []op
+		for step := 0; step < 300; step++ {
+			if rng.Intn(2) == 0 || len(outstanding) == 0 {
+				o := op{vc: rng.Intn(cfg.NumVCs), size: 1 + rng.Intn(12), kind: packet.RouteKind(rng.Intn(2))}
+				free := b.FreeFor(o.vc)
+				ok := b.Reserve(o.vc, o.size, o.kind)
+				if ok != (free >= o.size) {
+					t.Errorf("Reserve(%d,%d) = %v with free %d", o.vc, o.size, ok, free)
+					return false
+				}
+				if ok {
+					outstanding = append(outstanding, o)
+				}
+			} else {
+				i := rng.Intn(len(outstanding))
+				o := outstanding[i]
+				b.ReleaseCredit(o.vc, o.size, o.kind)
+				outstanding = append(outstanding[:i], outstanding[i+1:]...)
+			}
+			// Invariants.
+			total := 0
+			for vc := 0; vc < cfg.NumVCs; vc++ {
+				c := b.CommittedOf(vc)
+				if c < 0 || b.MinCommittedOf(vc) < 0 || b.MinCommittedOf(vc) > c {
+					t.Errorf("per-VC accounting broken: committed=%d min=%d", c, b.MinCommittedOf(vc))
+					return false
+				}
+				if b.FreeFor(vc) < 0 {
+					t.Errorf("negative free space on VC %d", vc)
+					return false
+				}
+				total += c
+			}
+			if total > cfg.TotalCapacity() {
+				t.Errorf("total committed %d exceeds capacity %d", total, cfg.TotalCapacity())
+				return false
+			}
+		}
+		return true
+	}
+	f := func(seed int64) bool {
+		return run(StaticConfig(3, 24), seed) &&
+			run(Config{Org: DAMQ, NumVCs: 3, CapacityPerVC: 8, Shared: 24}, seed) &&
+			run(Config{Org: DAMQ, NumVCs: 2, CapacityPerVC: 0, Shared: 32}, seed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutputBuffer(t *testing.T) {
+	o := NewOutputBuffer(16)
+	p1 := packet.New(1, 0, 1, 8, packet.Request, 0)
+	p2 := packet.New(2, 0, 1, 8, packet.Reply, 0)
+	if !o.CanAccept(8) {
+		t.Fatal("empty output buffer should accept a packet")
+	}
+	o.Push(p1, 2, packet.Minimal, 5)
+	o.Push(p2, 0, packet.Nonminimal, 7)
+	if o.CanAccept(8) {
+		t.Fatal("full output buffer should reject")
+	}
+	if pkt, _, _ := o.Head(4); pkt != nil {
+		t.Fatal("head not ready yet")
+	}
+	pkt, vc, kind := o.Head(5)
+	if pkt != p1 || vc != 2 || kind != packet.Minimal {
+		t.Fatal("wrong head")
+	}
+	if o.Pop() != p1 || o.Len() != 1 || o.Committed() != 8 || o.Peak() != 16 {
+		t.Fatal("pop bookkeeping broken")
+	}
+	o.Pop()
+	assertPanics(t, "pop empty", func() { o.Pop() })
+	assertPanics(t, "overflow", func() {
+		small := NewOutputBuffer(4)
+		small.Push(p1, 0, packet.Minimal, 0)
+	})
+	assertPanics(t, "zero capacity", func() { NewOutputBuffer(0) })
+}
+
+func TestOrganizationString(t *testing.T) {
+	if Static.String() != "static" || DAMQ.String() != "damq" {
+		t.Error("Organization.String broken")
+	}
+	if StaticConfig(2, 16).String() == "" || DAMQConfig(2, 32, 0.5).String() == "" {
+		t.Error("Config.String broken")
+	}
+}

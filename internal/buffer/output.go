@@ -1,0 +1,89 @@
+package buffer
+
+import (
+	"fmt"
+
+	"flexvc/internal/packet"
+)
+
+// outEntry is a packet staged in an output buffer together with the
+// downstream VC it has already been assigned and the routing kind recorded at
+// reservation time (needed to release the matching credit class later).
+type outEntry struct {
+	pkt    *packet.Packet
+	destVC int
+	kind   packet.RouteKind
+	ready  int64
+}
+
+// OutputBuffer models the small per-output-port staging buffer of a combined
+// input-output buffered router. Packets are moved into it by the crossbar
+// (possibly faster than link rate when the router has internal speedup) and
+// drained onto the link at one phit per cycle.
+type OutputBuffer struct {
+	capacity  int // phits
+	committed int
+	queue     []outEntry
+	peak      int
+}
+
+// NewOutputBuffer builds an output buffer with the given capacity in phits.
+func NewOutputBuffer(capacity int) *OutputBuffer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("buffer: output buffer capacity must be positive, got %d", capacity))
+	}
+	return &OutputBuffer{capacity: capacity}
+}
+
+// Capacity returns the buffer capacity in phits.
+func (o *OutputBuffer) Capacity() int { return o.capacity }
+
+// Free returns the free space in phits.
+func (o *OutputBuffer) Free() int { return o.capacity - o.committed }
+
+// CanAccept reports whether a packet of the given size fits.
+func (o *OutputBuffer) CanAccept(size int) bool { return o.Free() >= size }
+
+// Push stages a packet heading to destVC of the downstream port. ready is the
+// cycle at which the packet may start leaving on the link.
+func (o *OutputBuffer) Push(pkt *packet.Packet, destVC int, kind packet.RouteKind, ready int64) {
+	if !o.CanAccept(pkt.Size) {
+		panic(fmt.Sprintf("buffer: output buffer overflow pushing %d phits into %d free", pkt.Size, o.Free()))
+	}
+	o.committed += pkt.Size
+	if o.committed > o.peak {
+		o.peak = o.committed
+	}
+	o.queue = append(o.queue, outEntry{pkt: pkt, destVC: destVC, kind: kind, ready: ready})
+}
+
+// Head returns the head packet, its assigned downstream VC and routing kind,
+// if it is ready at the given cycle. It returns nil when the buffer is empty
+// or the head is not ready yet.
+func (o *OutputBuffer) Head(now int64) (*packet.Packet, int, packet.RouteKind) {
+	if len(o.queue) == 0 || o.queue[0].ready > now {
+		return nil, -1, packet.Minimal
+	}
+	e := o.queue[0]
+	return e.pkt, e.destVC, e.kind
+}
+
+// Pop removes the head packet and frees its space.
+func (o *OutputBuffer) Pop() *packet.Packet {
+	if len(o.queue) == 0 {
+		panic("buffer: pop from empty output buffer")
+	}
+	e := o.queue[0]
+	o.queue = o.queue[1:]
+	o.committed -= e.pkt.Size
+	return e.pkt
+}
+
+// Len returns the number of staged packets.
+func (o *OutputBuffer) Len() int { return len(o.queue) }
+
+// Committed returns the occupied space in phits.
+func (o *OutputBuffer) Committed() int { return o.committed }
+
+// Peak returns the highest occupancy observed in phits.
+func (o *OutputBuffer) Peak() int { return o.peak }

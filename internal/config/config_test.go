@@ -1,0 +1,128 @@
+package config
+
+import (
+	"testing"
+
+	"flexvc/internal/buffer"
+	"flexvc/internal/core"
+	"flexvc/internal/routing"
+	"flexvc/internal/topology"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"paper": Paper(), "medium": Medium(), "small": Small(), "tiny": Tiny(),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s preset invalid: %v", name, err)
+		}
+		topo, err := cfg.BuildTopology()
+		if err != nil {
+			t.Errorf("%s preset topology: %v", name, err)
+			continue
+		}
+		if err := topology.Validate(topo); err != nil {
+			t.Errorf("%s preset topology inconsistent: %v", name, err)
+		}
+	}
+	paper := Paper()
+	topo, _ := paper.BuildTopology()
+	if topo.NumRouters() != 2064 || topo.NumNodes() != 16512 {
+		t.Errorf("paper preset should be the full-scale system, got %d routers / %d nodes",
+			topo.NumRouters(), topo.NumNodes())
+	}
+}
+
+func TestValidationRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero packet size", func(c *Config) { c.PacketSize = 0 }},
+		{"negative load", func(c *Config) { c.Load = -0.1 }},
+		{"excess load", func(c *Config) { c.Load = 1.5 }},
+		{"zero speedup", func(c *Config) { c.Speedup = 0 }},
+		{"no injection queues", func(c *Config) { c.InjectionQueues = 0 }},
+		{"no measurement window", func(c *Config) { c.MeasureCycles = 0 }},
+		{"unknown topology", func(c *Config) { c.Topology = "torus" }},
+		{"VCs too small for MIN", func(c *Config) { c.Scheme.VCs = core.SingleClass(1, 1) }},
+		{"baseline VAL without VCs", func(c *Config) {
+			c.Routing = routing.VAL
+			c.Scheme = core.Scheme{Policy: core.Baseline, VCs: core.SingleClass(2, 1), Selection: core.JSQ}
+		}},
+		{"FlexVC VAL with forbidden VCs", func(c *Config) {
+			c.Routing = routing.VAL
+			c.Scheme = core.Scheme{Policy: core.FlexVC, VCs: core.SingleClass(2, 2), Selection: core.JSQ}
+		}},
+		{"reply VCs without reactive", func(c *Config) { c.Scheme.VCs = core.TwoClass(2, 1, 2, 1) }},
+	}
+	for _, tc := range cases {
+		cfg := Small()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+	// FlexVC with 3/2 supports opportunistic Valiant and must be accepted.
+	cfg := Small()
+	cfg.Routing = routing.VAL
+	cfg.Scheme = core.Scheme{Policy: core.FlexVC, VCs: core.SingleClass(3, 2), Selection: core.JSQ}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("FlexVC 3/2 with VAL should validate: %v", err)
+	}
+}
+
+func TestPortBufferConfig(t *testing.T) {
+	cfg := Small()
+	cfg.BufferOrg = buffer.Static
+	b := cfg.PortBufferConfig(topology.Local, 2)
+	if b.Org != buffer.Static || b.NumVCs != 2 || b.CapacityPerVC != cfg.LocalBufPerVC {
+		t.Errorf("static local port config broken: %+v", b)
+	}
+	cfg.BufferOrg = buffer.DAMQ
+	d := cfg.PortBufferConfig(topology.Global, 2)
+	if d.Org != buffer.DAMQ || d.TotalCapacity() != 2*cfg.GlobalBufPerVC {
+		t.Errorf("DAMQ global port should be iso-memory with static: %+v", d)
+	}
+	// Injection ports stay statically partitioned regardless of the
+	// organisation (they are per-node queues).
+	inj := cfg.PortBufferConfig(topology.Terminal, 3)
+	if inj.Org != buffer.Static || inj.CapacityPerVC != cfg.InjBufPerVC {
+		t.Errorf("terminal port config broken: %+v", inj)
+	}
+}
+
+func TestLinkLatencyAndClasses(t *testing.T) {
+	cfg := Small()
+	if cfg.LinkLatency(topology.Global) != cfg.GlobalLatency ||
+		cfg.LinkLatency(topology.Local) != cfg.LocalLatency ||
+		cfg.LinkLatency(topology.Terminal) != cfg.InjectionLatency {
+		t.Error("LinkLatency broken")
+	}
+	if cfg.NumClasses() != 1 {
+		t.Error("single-class by default")
+	}
+	cfg.Reactive = true
+	if cfg.NumClasses() != 2 {
+		t.Error("reactive means two classes")
+	}
+	if cfg.Describe() == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestFlattenedButterflyConfig(t *testing.T) {
+	cfg := Small()
+	cfg.Topology = TopoFlattenedButterfly
+	cfg.K = 4
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("flattened butterfly config invalid: %v", err)
+	}
+	topo, err := cfg.BuildTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumRouters() != 16 {
+		t.Errorf("4x4 flattened butterfly should have 16 routers, got %d", topo.NumRouters())
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"flexvc/internal/packet"
+	"flexvc/internal/topology"
+)
+
+// orderTable is the canonical ordering of the VCs visible to one message
+// class: every local and global VC index is assigned a rank such that a route
+// is deadlock-free when each of its hops uses a VC of its kind whose rank is
+// strictly greater than the rank of the previously used VC.
+//
+// The ordering follows the paper's reference paths: VCs are laid out as the
+// request subsequence followed by the reply subsequence, and within each
+// subsequence locals and globals are interleaved to match the longest
+// reference path the subsequence can hold (l0-g1-l2 for 2/1, l0-g1-l2-l3-g4-l5
+// for 4/2, l0-g1-l2-g3-l4 for 3/2, l0-l1-g2-... for 5/2, and so on); VCs
+// beyond the reference are placed at the start, as the paper prescribes for
+// additional VCs.
+type orderTable struct {
+	rankLocal  []int
+	rankGlobal []int
+}
+
+// rank returns the rank of VC index i of the given kind.
+func (o *orderTable) rank(kind topology.PortKind, i int) int {
+	if kind == topology.Global {
+		return o.rankGlobal[i]
+	}
+	return o.rankLocal[i]
+}
+
+// count returns the number of VCs of the given kind covered by the table.
+func (o *orderTable) count(kind topology.PortKind) int {
+	if kind == topology.Global {
+		return len(o.rankGlobal)
+	}
+	return len(o.rankLocal)
+}
+
+// interleave lays out vl local and vg global VC slots of one subsequence in
+// canonical order and returns the sequence of kinds, front to back.
+//
+// The layout places one local slot after every global slot (the arrival hop
+// into a group), up to two local slots between consecutive globals when
+// enough locals are available (the two in-group hops of a Valiant path at the
+// intermediate group), one local before the first global when possible, and
+// any remaining locals at the very front (the paper's "additional VCs are
+// inserted at the start of the reference path").
+func interleave(vl, vg int) []topology.PortKind {
+	if vg == 0 {
+		seq := make([]topology.PortKind, vl)
+		for i := range seq {
+			seq[i] = topology.Local
+		}
+		return seq
+	}
+	// gaps[0] is the front gap, gaps[i] (1..vg-1) sit between global i-1 and
+	// global i, gaps[vg] is the back gap.
+	gaps := make([]int, vg+1)
+	remaining := vl
+	give := func(idx, n int) {
+		if remaining <= 0 || n <= 0 {
+			return
+		}
+		if n > remaining {
+			n = remaining
+		}
+		gaps[idx] += n
+		remaining -= n
+	}
+	// 1. One local after the last global (the final hop of a reference path).
+	give(vg, 1)
+	// 2. One local in each between-gap, nearest the back first.
+	for i := vg - 1; i >= 1 && remaining > 0; i-- {
+		give(i, 1)
+	}
+	// 3. One local before the first global.
+	give(0, 1)
+	// 4. A second local in each between-gap (Valiant intermediate groups).
+	for i := vg - 1; i >= 1 && remaining > 0; i-- {
+		give(i, 1)
+	}
+	// 5. Everything left goes to the front (additional VCs).
+	give(0, remaining)
+
+	seq := make([]topology.PortKind, 0, vl+vg)
+	for g := 0; g <= vg; g++ {
+		for k := 0; k < gaps[g]; k++ {
+			seq = append(seq, topology.Local)
+		}
+		if g < vg {
+			seq = append(seq, topology.Global)
+		}
+	}
+	return seq
+}
+
+// buildOrderTable computes the canonical ranks of every VC visible to a
+// message class under cfg: the request subsequence (always visible) followed
+// by, for replies, the reply subsequence.
+func buildOrderTable(cfg VCConfig, class packet.Class) orderTable {
+	seq := interleave(cfg.Request.Local, cfg.Request.Global)
+	if class == packet.Reply {
+		seq = append(seq, interleave(cfg.Reply.Local, cfg.Reply.Global)...)
+	}
+	o := orderTable{
+		rankLocal:  make([]int, 0, cfg.ClassTop(class, topology.Local)),
+		rankGlobal: make([]int, 0, cfg.ClassTop(class, topology.Global)),
+	}
+	for rank, kind := range seq {
+		if kind == topology.Global {
+			o.rankGlobal = append(o.rankGlobal, rank)
+		} else {
+			o.rankLocal = append(o.rankLocal, rank)
+		}
+	}
+	return o
+}
+
+// highestFeasible returns the highest VC index usable by the first hop of seq
+// such that the whole sequence (first hop included) can be embedded in the
+// canonical order at strictly increasing ranks. It returns (-1, false) when
+// no embedding exists. Because ranks increase with the VC index within a
+// kind, any lower VC index for the first hop admits the same embedding of the
+// remaining hops, so [0, highestFeasible] (intersected with any lower bound)
+// is exactly the feasible range.
+func (o *orderTable) highestFeasible(seq topology.PathSeq) (int, bool) {
+	if seq.Len() == 0 {
+		return -1, false
+	}
+	// Walk the sequence backwards, keeping the highest usable rank for each
+	// hop; the first hop's resulting index is the answer.
+	limit := int(^uint(0) >> 1) // max int
+	idx := -1
+	for i := seq.Len() - 1; i >= 0; i-- {
+		kind := seq.At(i)
+		idx = o.highestBelow(kind, limit)
+		if idx < 0 {
+			return -1, false
+		}
+		limit = o.rank(kind, idx)
+	}
+	return idx, true
+}
+
+// highestBelow returns the highest VC index of the given kind whose rank is
+// strictly below limit, or -1.
+func (o *orderTable) highestBelow(kind topology.PortKind, limit int) int {
+	ranks := o.rankLocal
+	if kind == topology.Global {
+		ranks = o.rankGlobal
+	}
+	for i := len(ranks) - 1; i >= 0; i-- {
+		if ranks[i] < limit {
+			return i
+		}
+	}
+	return -1
+}
+
+// lowestIndexAtOrAboveRank returns the lowest VC index of the given kind with
+// rank >= minRank, or the VC count when none exists.
+func (o *orderTable) lowestIndexAtOrAboveRank(kind topology.PortKind, minRank int) int {
+	ranks := o.rankLocal
+	if kind == topology.Global {
+		ranks = o.rankGlobal
+	}
+	for i := 0; i < len(ranks); i++ {
+		if ranks[i] >= minRank {
+			return i
+		}
+	}
+	return len(ranks)
+}

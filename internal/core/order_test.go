@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexvc/internal/packet"
+	"flexvc/internal/topology"
+)
+
+// TestInterleaveCoversEveryVC checks that the canonical ordering assigns a
+// distinct rank to every VC of every kind, for a wide range of shapes
+// (including more globals than locals and single-kind configurations).
+func TestInterleaveCoversEveryVC(t *testing.T) {
+	for vl := 0; vl <= 8; vl++ {
+		for vg := 0; vg <= 6; vg++ {
+			seq := interleave(vl, vg)
+			if len(seq) != vl+vg {
+				t.Fatalf("interleave(%d,%d) has %d slots, want %d", vl, vg, len(seq), vl+vg)
+			}
+			locals, globals := 0, 0
+			for _, k := range seq {
+				if k == topology.Global {
+					globals++
+				} else {
+					locals++
+				}
+			}
+			if locals != vl || globals != vg {
+				t.Fatalf("interleave(%d,%d) placed %d locals and %d globals", vl, vg, locals, globals)
+			}
+			if vg > 0 && vl > 0 && seq[len(seq)-1] != topology.Local {
+				t.Errorf("interleave(%d,%d) should end with a local slot (the final hop of a reference path): %v", vl, vg, seq)
+			}
+		}
+	}
+}
+
+// TestInterleaveMinimalBlocksEmbed checks that when the local count is twice
+// the global count (the Valiant-capable shapes), the ordering embeds the
+// concatenation of that many minimal l-g-l blocks — the property the VAL and
+// request+reply reference paths rely on.
+func TestInterleaveMinimalBlocksEmbed(t *testing.T) {
+	// Sequences are capped at MaxPathLen hops, so test up to two blocks
+	// (the Valiant case); larger VC sets are covered by the monotonicity
+	// property below.
+	for vg := 1; vg <= 2; vg++ {
+		cfg := SingleClass(2*vg, vg)
+		o := buildOrderTable(cfg, packet.Request)
+		var seq topology.PathSeq
+		for b := 0; b < vg; b++ {
+			seq = seq.Concat(topology.SeqOf(topology.Local, topology.Global, topology.Local))
+		}
+		hi, ok := o.highestFeasible(seq)
+		if !ok || hi != 0 {
+			t.Errorf("%d minimal blocks should embed into %s starting at l0, got (%d,%v)", vg, cfg, hi, ok)
+		}
+	}
+}
+
+// TestHighestFeasibleMonotoneInVCs is a property test: adding VCs never makes
+// a previously feasible sequence infeasible, and never lowers the highest
+// feasible index.
+func TestHighestFeasibleMonotoneInVCs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	kinds := []topology.PortKind{topology.Local, topology.Global}
+	for trial := 0; trial < 2000; trial++ {
+		vl := 1 + rng.Intn(5)
+		vg := 1 + rng.Intn(3)
+		var seq topology.PathSeq
+		for i, n := 0, 1+rng.Intn(6); i < n; i++ {
+			seq.Push(kinds[rng.Intn(2)])
+		}
+		small := buildOrderTable(SingleClass(vl, vg), packet.Request)
+		big := buildOrderTable(SingleClass(vl+1, vg+1), packet.Request)
+		hiS, okS := small.highestFeasible(seq)
+		hiB, okB := big.highestFeasible(seq)
+		if okS && !okB {
+			t.Fatalf("seq %v feasible with %d/%d but not with %d/%d", seq, vl, vg, vl+1, vg+1)
+		}
+		if okS && okB && hiB < hiS {
+			t.Fatalf("seq %v: highest feasible dropped from %d to %d when adding VCs", seq, hiS, hiB)
+		}
+	}
+}
+
+// TestRankHelpers covers lowestIndexAtOrAboveRank and highestBelow edge cases.
+func TestRankHelpers(t *testing.T) {
+	o := buildOrderTable(SingleClass(2, 1), packet.Request) // order: l0 g0 l1
+	if o.rank(topology.Local, 0) != 0 || o.rank(topology.Global, 0) != 1 || o.rank(topology.Local, 1) != 2 {
+		t.Fatalf("unexpected ranks: %+v", o)
+	}
+	if got := o.lowestIndexAtOrAboveRank(topology.Local, 1); got != 1 {
+		t.Errorf("lowest local at rank>=1 should be l1, got %d", got)
+	}
+	if got := o.lowestIndexAtOrAboveRank(topology.Global, 2); got != 1 {
+		t.Errorf("no global at rank>=2: expected the count (1), got %d", got)
+	}
+	if got := o.highestBelow(topology.Local, 2); got != 0 {
+		t.Errorf("highest local below rank 2 should be l0, got %d", got)
+	}
+	if got := o.highestBelow(topology.Global, 1); got != -1 {
+		t.Errorf("no global below rank 1: expected -1, got %d", got)
+	}
+	if _, ok := o.highestFeasible(topology.PathSeq{}); ok {
+		t.Error("empty sequences are not feasible routes")
+	}
+}
+
+// TestReplyOrderingFollowsRequests checks that every reply-subsequence VC
+// ranks after every request-subsequence VC of the same kind.
+func TestReplyOrderingFollowsRequests(t *testing.T) {
+	cfg := TwoClass(3, 2, 2, 1)
+	o := buildOrderTable(cfg, packet.Reply)
+	maxReqLocal := o.rank(topology.Local, cfg.Request.Local-1)
+	for i := cfg.Request.Local; i < cfg.TotalOf(topology.Local); i++ {
+		if o.rank(topology.Local, i) <= maxReqLocal {
+			t.Errorf("reply local VC %d ranks before the request subsequence", i)
+		}
+	}
+	maxReqGlobal := o.rank(topology.Global, cfg.Request.Global-1)
+	for i := cfg.Request.Global; i < cfg.TotalOf(topology.Global); i++ {
+		if o.rank(topology.Global, i) <= maxReqGlobal {
+			t.Errorf("reply global VC %d ranks before the request subsequence", i)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"flexvc/internal/packet"
+	"flexvc/internal/topology"
+)
+
+// Table is a rendered analytic table in the style of the paper's Tables I-IV:
+// rows are routing modes, columns are VC configurations, and every cell holds
+// the route classification.
+type Table struct {
+	Title      string
+	ColLabels  []string
+	RowLabels  []string
+	Cells      [][]string
+	ConfigsCol []VCConfig
+}
+
+// Render returns a plain-text rendering of the table.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-10s", "Routing")
+	for _, c := range t.ColLabels {
+		fmt.Fprintf(&b, " %-14s", c)
+	}
+	b.WriteByte('\n')
+	for i, row := range t.RowLabels {
+		fmt.Fprintf(&b, "%-10s", row)
+		for _, cell := range t.Cells[i] {
+			fmt.Fprintf(&b, " %-14s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// cell formats the classification of a route for one or two message classes,
+// collapsing identical classifications the way the paper does ("X / opport."
+// when requests are forbidden but replies remain opportunistic).
+func cell(req RouteClass, rep *RouteClass) string {
+	if rep == nil || *rep == req {
+		return req.String()
+	}
+	return fmt.Sprintf("%s / %s", req, *rep)
+}
+
+// buildTable classifies every routing mode under every configuration.
+func buildTable(title string, topo topology.Topology, cols []string, cfgs []VCConfig, twoClass bool) Table {
+	t := Table{Title: title, ColLabels: cols, ConfigsCol: cfgs}
+	for _, mode := range RoutingModes {
+		t.RowLabels = append(t.RowLabels, mode.String())
+		ref := Reference(topo, mode)
+		row := make([]string, 0, len(cfgs))
+		for _, cfg := range cfgs {
+			req := Classify(cfg, packet.Request, ref)
+			if !twoClass {
+				row = append(row, cell(req, nil))
+				continue
+			}
+			rep := Classify(cfg, packet.Reply, ref)
+			row = append(row, cell(req, &rep))
+		}
+		t.Cells = append(t.Cells, row)
+	}
+	return t
+}
+
+// genericDiameter2 returns a minimal instance of a generic diameter-2 network
+// (a 2x2 flattened butterfly) used only for its diameter in table building.
+func genericDiameter2() topology.Topology {
+	f, err := topology.NewFlattenedButterfly2D(2, 1)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// smallDragonfly returns a minimal dragonfly instance used only for its
+// diameter and link-type structure in table building.
+func smallDragonfly() topology.Topology {
+	d, err := topology.NewDragonfly(1, 2, 1)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// TableI reproduces Table I of the paper: allowed paths using FlexVC in a
+// generic diameter-2 network, for 2-5 VCs and a single message class.
+func TableI() Table {
+	var cols []string
+	var cfgs []VCConfig
+	for v := 2; v <= 5; v++ {
+		cols = append(cols, fmt.Sprintf("%d VCs", v))
+		cfgs = append(cfgs, SingleClass(v, 0))
+	}
+	return buildTable("Table I: FlexVC paths in a generic diameter-2 network", genericDiameter2(), cols, cfgs, false)
+}
+
+// TableII reproduces Table II: the same network with request-reply protocol
+// deadlock avoidance. Cells show the request-path classification (the
+// binding constraint, as in the paper).
+func TableII() Table {
+	splits := [][2]int{{2, 2}, {3, 2}, {3, 3}, {4, 4}, {5, 5}}
+	var cols []string
+	var cfgs []VCConfig
+	for _, s := range splits {
+		cols = append(cols, fmt.Sprintf("%d+%d=%d", s[0], s[1], s[0]+s[1]))
+		cfgs = append(cfgs, TwoClass(s[0], 0, s[1], 0))
+	}
+	return buildTable("Table II: FlexVC with protocol deadlock, generic diameter-2 network", genericDiameter2(), cols, cfgs, false)
+}
+
+// TableIII reproduces Table III: FlexVC in a diameter-3 Dragonfly with
+// local/global link-type restrictions, single message class.
+func TableIII() Table {
+	splits := []SubpathVCs{{2, 1}, {3, 1}, {2, 2}, {3, 2}, {4, 2}, {5, 2}}
+	var cols []string
+	var cfgs []VCConfig
+	for _, s := range splits {
+		cols = append(cols, s.String())
+		cfgs = append(cfgs, VCConfig{Request: s})
+	}
+	return buildTable("Table III: FlexVC in a Dragonfly (local/global VCs)", smallDragonfly(), cols, cfgs, false)
+}
+
+// TableIV reproduces Table IV: FlexVC in a Dragonfly with protocol deadlock.
+// Cells show "request / reply" classifications when they differ.
+func TableIV() Table {
+	type split struct {
+		label    string
+		req, rep SubpathVCs
+	}
+	splits := []split{
+		{"2x(2/1)=4/2", SubpathVCs{2, 1}, SubpathVCs{2, 1}},
+		{"3/2+2/1=5/3", SubpathVCs{3, 2}, SubpathVCs{2, 1}},
+		{"2x(4/2)=8/4", SubpathVCs{4, 2}, SubpathVCs{4, 2}},
+		{"2x(5/2)=10/4", SubpathVCs{5, 2}, SubpathVCs{5, 2}},
+	}
+	var cols []string
+	var cfgs []VCConfig
+	for _, s := range splits {
+		cols = append(cols, s.label)
+		cfgs = append(cfgs, VCConfig{Request: s.req, Reply: s.rep})
+	}
+	return buildTable("Table IV: FlexVC with protocol deadlock in a Dragonfly", smallDragonfly(), cols, cfgs, true)
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"flexvc/internal/packet"
+	"flexvc/internal/topology"
+)
+
+// TestTableI checks Table I of the paper cell by cell: allowed paths using
+// FlexVC in a generic diameter-2 network with 2-5 VCs.
+func TestTableI(t *testing.T) {
+	want := [][]string{
+		{"safe", "safe", "safe", "safe"},    // MIN
+		{"X", "opport.", "safe", "safe"},    // VAL
+		{"X", "opport.", "opport.", "safe"}, // PAR
+	}
+	checkTable(t, TableI(), want)
+}
+
+// TestTableII checks Table II: request-reply protocol deadlock avoidance in a
+// generic diameter-2 network (cells show the request-path classification).
+func TestTableII(t *testing.T) {
+	want := [][]string{
+		{"safe", "safe", "safe", "safe", "safe"},
+		{"X", "opport.", "opport.", "safe", "safe"},
+		{"X", "opport.", "opport.", "opport.", "safe"},
+	}
+	checkTable(t, TableII(), want)
+}
+
+// TestTableIII checks Table III: a diameter-3 Dragonfly with local/global
+// link-type restrictions.
+func TestTableIII(t *testing.T) {
+	want := [][]string{
+		{"safe", "safe", "safe", "safe", "safe", "safe"},
+		{"X", "X", "X", "opport.", "safe", "safe"},
+		{"X", "X", "X", "opport.", "opport.", "safe"},
+	}
+	checkTable(t, TableIII(), want)
+}
+
+// TestTableIV checks Table IV: the Dragonfly with protocol deadlock
+// avoidance; cells show request / reply classifications.
+func TestTableIV(t *testing.T) {
+	want := [][]string{
+		{"safe", "safe", "safe", "safe"},
+		{"X / opport.", "opport.", "safe", "safe"},
+		{"X / opport.", "opport.", "opport.", "safe"},
+	}
+	checkTable(t, TableIV(), want)
+}
+
+func checkTable(t *testing.T, table Table, want [][]string) {
+	t.Helper()
+	if len(table.Cells) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", table.Title, len(table.Cells), len(want))
+	}
+	for i, row := range want {
+		if len(table.Cells[i]) != len(row) {
+			t.Fatalf("%s row %s: %d columns, want %d", table.Title, table.RowLabels[i], len(table.Cells[i]), len(row))
+		}
+		for j, cell := range row {
+			if table.Cells[i][j] != cell {
+				t.Errorf("%s [%s, %s] = %q, want %q",
+					table.Title, table.RowLabels[i], table.ColLabels[j], table.Cells[i][j], cell)
+			}
+		}
+	}
+	if r := table.Render(); len(r) == 0 {
+		t.Error("empty table rendering")
+	}
+}
+
+// TestClassifyAgainstManager cross-checks the count-based Classify used for
+// the tables against the ordering-based ClassifySeq used by the forwarding
+// path, over every configuration that appears in the tables.
+//
+// The two are not identical by design: Classify reproduces the paper's table
+// semantics (a route is "opportunistic" if the mechanism stays deadlock-free
+// while attempting it), whereas ClassifySeq walks the worst-case reference
+// path under the per-hop rule the simulator enforces, where an opportunistic
+// continuation may be denied hop by hop (the packet then reverts to its
+// escape path). ClassifySeq may therefore be more conservative. What must
+// never happen is a strong contradiction: one classifier reporting a route
+// fully Safe while the other reports it Forbidden.
+func TestClassifyAgainstManager(t *testing.T) {
+	type tc struct {
+		topo topology.Topology
+		cfgs []VCConfig
+	}
+	df, _ := topology.NewDragonfly(1, 2, 1)
+	fb, _ := topology.NewFlattenedButterfly2D(2, 1)
+	cases := []tc{
+		{fb, []VCConfig{SingleClass(2, 0), SingleClass(3, 0), SingleClass(4, 0), SingleClass(5, 0),
+			TwoClass(2, 0, 2, 0), TwoClass(3, 0, 2, 0), TwoClass(4, 0, 4, 0)}},
+		{df, []VCConfig{SingleClass(2, 1), SingleClass(3, 1), SingleClass(2, 2), SingleClass(3, 2),
+			SingleClass(4, 2), SingleClass(5, 2), TwoClass(2, 1, 2, 1), TwoClass(3, 2, 2, 1),
+			TwoClass(4, 2, 4, 2), TwoClass(5, 2, 5, 2)}},
+	}
+	for _, c := range cases {
+		for _, cfg := range c.cfgs {
+			for _, mode := range RoutingModes {
+				ref := Reference(c.topo, mode)
+				for _, class := range []packet.Class{packet.Request, packet.Reply} {
+					counts := Classify(cfg, class, ref)
+					mgr := NewManager(Scheme{Policy: FlexVC, VCs: cfg, Selection: JSQ})
+					ordered := mgr.ClassifySeq(class, ref)
+					if (counts == Safe && ordered == Forbidden) || (counts == Forbidden && ordered == Safe) {
+						t.Errorf("%s %v %v class %v: contradictory classifications Classify=%v ClassifySeq=%v",
+							c.topo.Name(), cfg, mode, class, counts, ordered)
+					}
+					if counts != ordered {
+						t.Logf("note: %s %v %v class %v: count-based %v vs order-based %v",
+							c.topo.Name(), cfg, mode, class, counts, ordered)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReferencePaths checks the reference builder against the paper's path
+// shapes.
+func TestReferencePaths(t *testing.T) {
+	df, _ := topology.NewDragonfly(1, 2, 1)
+	fb, _ := topology.NewFlattenedButterfly2D(2, 1)
+
+	if hops := Reference(df, ModeMIN).Hops(); hops != (topology.HopCount{Local: 2, Global: 1}) {
+		t.Errorf("dragonfly MIN reference hops = %+v", hops)
+	}
+	if hops := Reference(df, ModeVAL).Hops(); hops != (topology.HopCount{Local: 4, Global: 2}) {
+		t.Errorf("dragonfly VAL reference hops = %+v", hops)
+	}
+	if hops := Reference(df, ModePAR).Hops(); hops != (topology.HopCount{Local: 5, Global: 2}) {
+		t.Errorf("dragonfly PAR reference hops = %+v", hops)
+	}
+	if hops := Reference(fb, ModeVAL).Hops(); hops != (topology.HopCount{Local: 4}) {
+		t.Errorf("fbfly VAL reference hops = %+v", hops)
+	}
+	ref := Reference(df, ModeVAL)
+	if ref.Len() != len(ref.EscapeAfter) {
+		t.Fatal("escape list length mismatch")
+	}
+	// The escape after the last hop is empty; escapes never exceed the
+	// diameter.
+	last := ref.EscapeAfter[ref.Len()-1]
+	if last.Total() != 0 {
+		t.Errorf("escape after the final hop should be empty, got %+v", last)
+	}
+	for i, esc := range ref.EscapeAfter {
+		if esc.Local > 2 || esc.Global > 1 {
+			t.Errorf("escape %d exceeds the diameter: %+v", i, esc)
+		}
+	}
+}
+
+func TestRouteClassString(t *testing.T) {
+	if Safe.String() != "safe" || Opportunistic.String() != "opport." || Forbidden.String() != "X" {
+		t.Error("RouteClass.String broken")
+	}
+	if ModeMIN.String() != "MIN" || ModeVAL.String() != "VAL" || ModePAR.String() != "PAR" {
+		t.Error("RoutingMode.String broken")
+	}
+}

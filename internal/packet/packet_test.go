@@ -1,0 +1,56 @@
+package packet
+
+import "testing"
+
+func TestPacketBasics(t *testing.T) {
+	p := New(42, 3, 9, 8, Request, 100)
+	if p.ID != 42 || p.Src != 3 || p.Dst != 9 || p.Size != 8 || p.Class != Request || p.GenTime != 100 {
+		t.Fatal("constructor fields broken")
+	}
+	if p.Route.Kind != Minimal || p.Route.Phase != PhaseToDestination || p.Route.InputVC != -1 {
+		t.Fatal("route state defaults broken")
+	}
+	if p.Route.Intermediate != InvalidRouter {
+		t.Fatal("intermediate default broken")
+	}
+	p.InjectTime = 110
+	p.RecvTime = 250
+	if p.Latency() != 150 || p.NetworkLatency() != 140 {
+		t.Fatal("latency helpers broken")
+	}
+	if p.String() == "" {
+		t.Fatal("empty string form")
+	}
+}
+
+func TestRouteStateReset(t *testing.T) {
+	p := New(1, 0, 1, 8, Reply, 0)
+	p.Route.Kind = Nonminimal
+	p.Route.Phase = PhaseToIntermediate
+	p.Route.Intermediate = 7
+	p.Route.LocalHops = 3
+	p.Route.GlobalHops = 2
+	p.Route.InputVC = 4
+	p.Route.AdaptiveDecided = true
+	p.Route.Reset()
+	if p.Route.Kind != Minimal || p.Route.Phase != PhaseToDestination ||
+		p.Route.Intermediate != InvalidRouter || p.Route.LocalHops != 0 ||
+		p.Route.GlobalHops != 0 || p.Route.InputVC != -1 || p.Route.AdaptiveDecided {
+		t.Fatalf("Reset left state behind: %+v", p.Route)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Request.String() != "request" || Reply.String() != "reply" {
+		t.Error("Class.String broken")
+	}
+	if Class(9).String() == "" {
+		t.Error("unknown class should still stringify")
+	}
+	if Minimal.String() != "minimal" || Nonminimal.String() != "nonminimal" {
+		t.Error("RouteKind.String broken")
+	}
+	if NumClasses != 2 {
+		t.Error("NumClasses should be 2")
+	}
+}

@@ -1,0 +1,499 @@
+// Package router models a combined input-output buffered, Virtual
+// Cut-Through router with credit-based flow control, an iterative input-first
+// separable allocator and an optional internal frequency speedup, as used in
+// the FlexVC evaluation (FOGSim's router model).
+//
+// A router owns the input buffers of its ports (including the injection
+// buffers of its terminal ports), a small output buffer per port and per-class
+// ejection buffers for its terminal ports. Each cycle it runs `speedup`
+// allocation iterations that move packets from input VCs to output buffers
+// (consuming credits of the downstream input buffer) and then drains every
+// output buffer onto its link at one phit per cycle.
+package router
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flexvc/internal/buffer"
+	"flexvc/internal/core"
+	"flexvc/internal/packet"
+	"flexvc/internal/routing"
+	"flexvc/internal/topology"
+)
+
+// Params collects the microarchitectural parameters of a router.
+type Params struct {
+	// Speedup is the number of allocation iterations per link cycle.
+	Speedup int
+	// Pipeline is the router pipeline latency in cycles, applied to every
+	// packet between arrival and visibility to the allocator.
+	Pipeline int
+	// OutputBufPhits is the capacity of each output staging buffer.
+	OutputBufPhits int
+	// InjectionQueues is the number of injection VCs per terminal port.
+	InjectionQueues int
+	// NumClasses is the number of message classes (1, or 2 for
+	// request-reply workloads); terminal ports expose one ejection channel
+	// per class so replies never wait behind requests.
+	NumClasses int
+	// LocalLatency, GlobalLatency and InjectionLatency are the link
+	// latencies in cycles, also used for credit return.
+	LocalLatency, GlobalLatency, InjectionLatency int
+	// BufferConfig returns the input-buffer configuration for a port of the
+	// given kind with the given number of VCs.
+	BufferConfig func(kind topology.PortKind, numVCs int) buffer.Config
+}
+
+// LinkLatency returns the link latency for a port kind.
+func (p Params) LinkLatency(kind topology.PortKind) int {
+	switch kind {
+	case topology.Global:
+		return p.GlobalLatency
+	case topology.Local:
+		return p.LocalLatency
+	default:
+		return p.InjectionLatency
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Speedup < 1 {
+		return fmt.Errorf("router: speedup must be >= 1, got %d", p.Speedup)
+	}
+	if p.Pipeline < 0 {
+		return fmt.Errorf("router: negative pipeline latency")
+	}
+	if p.OutputBufPhits <= 0 {
+		return fmt.Errorf("router: output buffer capacity must be positive")
+	}
+	if p.InjectionQueues < 1 {
+		return fmt.Errorf("router: need at least one injection queue")
+	}
+	if p.NumClasses < 1 || p.NumClasses > packet.NumClasses {
+		return fmt.Errorf("router: invalid class count %d", p.NumClasses)
+	}
+	if p.BufferConfig == nil {
+		return fmt.Errorf("router: missing buffer configuration function")
+	}
+	return nil
+}
+
+// Env is the interface the router uses to interact with the rest of the
+// simulated network; it is implemented by internal/sim.
+type Env interface {
+	// DownstreamInput returns the input buffer at the far end of output
+	// port `port` of router r (nil for terminal ports).
+	DownstreamInput(r packet.RouterID, port int) *buffer.InputBuffer
+	// ScheduleArrival delivers pkt into VC vc of input port `port` of
+	// router `to` after `delay` cycles; kind is the routing kind recorded
+	// when the space was reserved.
+	ScheduleArrival(delay int64, to packet.RouterID, port, vc int, pkt *packet.Packet, kind packet.RouteKind)
+	// ScheduleCredit releases `size` phits of VC vc of buf after `delay`
+	// cycles.
+	ScheduleCredit(delay int64, buf *buffer.InputBuffer, vc, size int, kind packet.RouteKind)
+	// ScheduleDelivery consumes pkt at its destination node after `delay`
+	// cycles.
+	ScheduleDelivery(delay int64, pkt *packet.Packet)
+}
+
+// Router is one switch of the simulated network.
+type Router struct {
+	id     packet.RouterID
+	topo   topology.Topology
+	scheme core.Scheme
+	mgr    *core.Manager
+	alg    routing.Algorithm
+	params Params
+	env    Env
+	rng    *rand.Rand
+
+	numPorts int
+	inputs   []*buffer.InputBuffer
+	outputs  []*buffer.OutputBuffer   // nil for terminal ports
+	eject    [][]*buffer.OutputBuffer // [terminal port][class], nil otherwise
+	linkBusy []int64
+	ejBusy   [][]int64
+
+	inVCRR []int // round-robin pointer over VCs, per input port
+	outRR  []int // round-robin pointer over input ports, per output resource
+	alloc  allocState
+
+	// grantCount counts switch allocations, for utilisation statistics.
+	grantCount int64
+}
+
+// New builds a router. The environment may be set later with SetEnv (the
+// simulator wires routers and the event system together after construction).
+func New(id packet.RouterID, topo topology.Topology, scheme core.Scheme, alg routing.Algorithm, params Params, seed int64) (*Router, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Router{
+		id:       id,
+		topo:     topo,
+		scheme:   scheme,
+		mgr:      core.NewManager(scheme),
+		alg:      alg,
+		params:   params,
+		numPorts: topo.Radix(),
+		rng:      rand.New(rand.NewSource(seed ^ (int64(id)+1)*0x9E3779B9)),
+	}
+	r.inputs = make([]*buffer.InputBuffer, r.numPorts)
+	r.outputs = make([]*buffer.OutputBuffer, r.numPorts)
+	r.eject = make([][]*buffer.OutputBuffer, r.numPorts)
+	r.linkBusy = make([]int64, r.numPorts)
+	r.ejBusy = make([][]int64, r.numPorts)
+	r.inVCRR = make([]int, r.numPorts)
+	r.outRR = make([]int, r.numPorts*(1+params.NumClasses))
+	for p := 0; p < r.numPorts; p++ {
+		kind := topo.PortKind(id, p)
+		numVCs := r.portVCs(kind)
+		r.inputs[p] = buffer.NewInputBuffer(params.BufferConfig(kind, numVCs))
+		if kind == topology.Terminal {
+			r.eject[p] = make([]*buffer.OutputBuffer, params.NumClasses)
+			r.ejBusy[p] = make([]int64, params.NumClasses)
+			for c := range r.eject[p] {
+				r.eject[p][c] = buffer.NewOutputBuffer(params.OutputBufPhits)
+			}
+		} else {
+			r.outputs[p] = buffer.NewOutputBuffer(params.OutputBufPhits)
+		}
+	}
+	return r, nil
+}
+
+// portVCs returns the number of VCs of an input port of the given kind.
+func (r *Router) portVCs(kind topology.PortKind) int {
+	if kind == topology.Terminal {
+		return r.params.InjectionQueues
+	}
+	return r.scheme.VCs.TotalOf(kind)
+}
+
+// SetEnv wires the router to its environment.
+func (r *Router) SetEnv(env Env) { r.env = env }
+
+// ID returns the router identifier.
+func (r *Router) ID() packet.RouterID { return r.id }
+
+// Input returns the input buffer of a port (injection buffers for terminal
+// ports). The simulator uses it to enqueue arrivals and to probe occupancy.
+func (r *Router) Input(port int) *buffer.InputBuffer { return r.inputs[port] }
+
+// Output returns the output staging buffer of a non-terminal port, or nil.
+func (r *Router) Output(port int) *buffer.OutputBuffer { return r.outputs[port] }
+
+// ResidentPackets returns the number of packets stored in the router (input
+// VCs, output buffers and ejection buffers), used by the deadlock watchdog.
+func (r *Router) ResidentPackets() int {
+	n := 0
+	for p := 0; p < r.numPorts; p++ {
+		n += r.inputs[p].ResidentPackets()
+		if r.outputs[p] != nil {
+			n += r.outputs[p].Len()
+		}
+		for _, e := range r.eject[p] {
+			n += e.Len()
+		}
+	}
+	return n
+}
+
+// Grants returns the number of switch allocations performed so far.
+func (r *Router) Grants() int64 { return r.grantCount }
+
+// Step advances the router by one cycle: `speedup` allocation iterations
+// followed by link transmission.
+func (r *Router) Step(now int64) {
+	for i := 0; i < r.params.Speedup; i++ {
+		r.allocate(now)
+	}
+	r.transmit(now)
+}
+
+// request is one input port's proposal during an allocation iteration.
+type request struct {
+	inPort, inVC int
+	pkt          *packet.Packet
+	outPort      int
+	destVC       int
+	terminal     bool
+	class        int
+	outKind      topology.PortKind
+	// revert marks a request that follows the packet's escape (minimal)
+	// path instead of its planned Valiant continuation; the Valiant detour
+	// is abandoned only if this request is granted.
+	revert bool
+}
+
+// outKey maps an output resource (a non-terminal port, or a terminal port's
+// per-class ejection channel) to an arbitration slot.
+func (r *Router) outKey(req request) int {
+	if !req.terminal {
+		return req.outPort
+	}
+	return r.numPorts + req.outPort*r.params.NumClasses + req.class
+}
+
+// allocate runs one iteration of the input-first separable allocator.
+func (r *Router) allocate(now int64) {
+	if r.alloc.proposals == nil {
+		numKeys := r.numPorts * (1 + r.params.NumClasses)
+		r.alloc.proposals = make([]request, 0, r.numPorts)
+		r.alloc.keyWinner = make([]int, numKeys)
+		r.alloc.keyGen = make([]uint64, numKeys)
+		r.alloc.touched = make([]int, 0, r.numPorts)
+	}
+	st := &r.alloc
+	st.gen++
+	st.proposals = st.proposals[:0]
+	st.touched = st.touched[:0]
+
+	// Phase 1: each input port proposes at most one (VC, output) request;
+	// Phase 2 (fused): each output resource keeps the proposal closest to
+	// its round-robin pointer.
+	for p := 0; p < r.numPorts; p++ {
+		req, ok := r.proposeFromPort(now, p)
+		if !ok {
+			continue
+		}
+		idx := len(st.proposals)
+		st.proposals = append(st.proposals, req)
+		key := r.outKey(req)
+		if st.keyGen[key] != st.gen {
+			st.keyGen[key] = st.gen
+			st.keyWinner[key] = idx
+			st.touched = append(st.touched, key)
+			continue
+		}
+		cur := st.proposals[st.keyWinner[key]]
+		if r.rrDistance(key, req.inPort) < r.rrDistance(key, cur.inPort) {
+			st.keyWinner[key] = idx
+		}
+	}
+	for _, key := range st.touched {
+		winner := st.proposals[st.keyWinner[key]]
+		r.outRR[key] = (winner.inPort + 1) % r.numPorts
+		r.grant(now, winner)
+	}
+}
+
+// allocState holds reusable allocator scratch space.
+type allocState struct {
+	proposals []request
+	keyWinner []int
+	keyGen    []uint64
+	gen       uint64
+	touched   []int
+}
+
+// rrDistance returns the round-robin distance of an input port from the
+// output resource's pointer.
+func (r *Router) rrDistance(key, inPort int) int {
+	return (inPort - r.outRR[key] + r.numPorts) % r.numPorts
+}
+
+// proposeFromPort picks the first requestable VC of an input port, starting
+// from its round-robin pointer.
+func (r *Router) proposeFromPort(now int64, p int) (request, bool) {
+	in := r.inputs[p]
+	nvc := in.NumVCs()
+	for k := 0; k < nvc; k++ {
+		vc := (r.inVCRR[p] + k) % nvc
+		pkt := in.Head(vc, now)
+		if pkt == nil {
+			continue
+		}
+		req, ok := r.buildRequest(p, vc, pkt)
+		if !ok {
+			continue
+		}
+		// Advance the pointer past the requesting VC so other VCs get served
+		// in subsequent iterations even if this one keeps winning.
+		r.inVCRR[p] = (vc + 1) % nvc
+		return req, true
+	}
+	return request{}, false
+}
+
+// buildRequest resolves routing and VC management for the head packet of an
+// input VC and checks that the chosen resources have room. When the planned
+// continuation of a Valiant detour has no room, the packet's escape path (the
+// minimal route to its destination) is requested instead, as the paper's
+// opportunistic-routing rule prescribes; the detour is only abandoned if that
+// escape request wins allocation.
+func (r *Router) buildRequest(p, vc int, pkt *packet.Packet) (request, bool) {
+	dec := r.alg.Route(r.id, pkt, r.rng)
+	if dec.Deliver {
+		tp := r.topo.TerminalPort(r.id, pkt.Dst)
+		class := int(pkt.Class)
+		if class >= r.params.NumClasses {
+			class = r.params.NumClasses - 1
+		}
+		if !r.eject[tp][class].CanAccept(pkt.Size) {
+			return request{}, false
+		}
+		return request{inPort: p, inVC: vc, pkt: pkt, outPort: tp, destVC: 0, terminal: true, class: class, outKind: topology.Terminal}, true
+	}
+	req, ok, safe := r.buildForwardRequest(p, vc, pkt, dec.OutPort, false)
+	if ok {
+		return req, true
+	}
+	// Escape fallback: a packet whose planned continuation is opportunistic
+	// (it no longer fits in increasing VCs above its current buffer) must be
+	// able to fall back to the minimal path toward its destination, or the
+	// opportunistic hops could form a cycle. Safe continuations just wait.
+	if !safe && pkt.Route.Kind == packet.Nonminimal && pkt.Route.Phase == packet.PhaseToIntermediate {
+		escPort := r.topo.NextMinimalPort(r.id, pkt.DstRouter)
+		if escPort >= 0 && escPort != dec.OutPort {
+			if req, ok, _ := r.buildForwardRequest(p, vc, pkt, escPort, true); ok {
+				return req, true
+			}
+		}
+	}
+	return request{}, false
+}
+
+// buildForwardRequest checks room along one candidate output port. With
+// revert set, the VC range is computed for the escape (minimal) continuation
+// rather than the planned one. The third result reports whether the planned
+// continuation was classified safe (so the caller knows whether an escape
+// fallback is required when the request cannot be built).
+func (r *Router) buildForwardRequest(p, vc int, pkt *packet.Packet, outPort int, revert bool) (request, bool, bool) {
+	if outPort < 0 {
+		return request{}, false, false
+	}
+	outKind := r.topo.PortKind(r.id, outPort)
+	destVC, ok, safe := r.chooseVC(p, vc, pkt, outPort, outKind, revert)
+	if !ok || !r.outputs[outPort].CanAccept(pkt.Size) {
+		return request{}, false, safe
+	}
+	return request{inPort: p, inVC: vc, pkt: pkt, outPort: outPort, destVC: destVC, outKind: outKind, revert: revert}, true, safe
+}
+
+// chooseVC computes the allowed VC range at the downstream input port and
+// picks one VC with room using the scheme's selection function. With revert
+// set, the packet is being evaluated along its escape (minimal) path, so the
+// planned continuation is the escape itself. The third result reports whether
+// the continuation was classified as a safe hop.
+func (r *Router) chooseVC(p, vc int, pkt *packet.Packet, outPort int, outKind topology.PortKind, revert bool) (int, bool, bool) {
+	next, _ := r.topo.Neighbor(r.id, outPort)
+	escape := routing.EscapeRemaining(r.topo, next, pkt)
+	planned := escape
+	if !revert {
+		planned = routing.PlannedRemaining(r.topo, next, pkt)
+	}
+	ctx := core.HopContext{
+		Class:        pkt.Class,
+		Kind:         outKind,
+		InputKind:    r.topo.PortKind(r.id, p),
+		InputVC:      pkt.Route.InputVC,
+		RefPosition:  routing.BaselinePosition(r.topo, pkt),
+		PlannedAfter: planned,
+		EscapeAfter:  escape,
+	}
+	vcRange := r.mgr.AllowedVCs(ctx)
+	if vcRange.Empty() {
+		return -1, false, false
+	}
+	down := r.env.DownstreamInput(r.id, outPort)
+	if down == nil {
+		return -1, false, vcRange.Safe
+	}
+	hi := vcRange.Hi
+	if hi >= down.NumVCs() {
+		hi = down.NumVCs() - 1
+	}
+	candidates := make([]core.VCCandidate, 0, hi-vcRange.Lo+1)
+	for v := vcRange.Lo; v <= hi; v++ {
+		candidates = append(candidates, core.VCCandidate{VC: v, Free: down.FreeFor(v)})
+	}
+	chosen, ok := r.scheme.Selection.Select(candidates, pkt.Size, r.rng)
+	return chosen, ok, vcRange.Safe
+}
+
+// grant moves a packet from its input VC into the chosen output buffer,
+// consuming downstream credits and scheduling the credit return for the space
+// it frees upstream.
+func (r *Router) grant(now int64, req request) {
+	in := r.inputs[req.inPort]
+	pkt, resKind := in.Dequeue(req.inVC)
+	if pkt != req.pkt {
+		panic(fmt.Sprintf("router %d: allocator granted VC %d of port %d but its head changed", r.id, req.inVC, req.inPort))
+	}
+	r.grantCount++
+
+	size := pkt.Size
+	transfer := int64((size + r.params.Speedup - 1) / r.params.Speedup)
+	inKind := r.topo.PortKind(r.id, req.inPort)
+	creditDelay := transfer + int64(r.params.LinkLatency(inKind))
+	r.env.ScheduleCredit(creditDelay, in, req.inVC, size, resKind)
+
+	if req.terminal {
+		r.eject[req.outPort][req.class].Push(pkt, 0, pkt.Route.Kind, now+transfer)
+		return
+	}
+
+	down := r.env.DownstreamInput(r.id, req.outPort)
+	if !down.Reserve(req.destVC, size, pkt.Route.Kind) {
+		panic(fmt.Sprintf("router %d: downstream VC %d of port %d lost its credits between check and grant", r.id, req.destVC, req.outPort))
+	}
+	if req.revert {
+		// The escape request won: abandon the Valiant detour and head
+		// straight to the destination from here on.
+		pkt.Route.Phase = packet.PhaseToDestination
+	}
+	pkt.Route.InputVC = req.destVC
+	switch req.outKind {
+	case topology.Local:
+		pkt.Route.LocalHops++
+	case topology.Global:
+		pkt.Route.GlobalHops++
+	}
+	pkt.Route.Hops++
+	r.outputs[req.outPort].Push(pkt, req.destVC, pkt.Route.Kind, now+transfer)
+}
+
+// transmit drains output buffers onto their links and ejection channels onto
+// the terminal links, one packet at a time at one phit per cycle.
+func (r *Router) transmit(now int64) {
+	for p := 0; p < r.numPorts; p++ {
+		if r.outputs[p] != nil {
+			r.transmitLink(now, p)
+			continue
+		}
+		for c := range r.eject[p] {
+			r.transmitEject(now, p, c)
+		}
+	}
+}
+
+func (r *Router) transmitLink(now int64, p int) {
+	if r.linkBusy[p] > now {
+		return
+	}
+	pkt, destVC, kind := r.outputs[p].Head(now)
+	if pkt == nil {
+		return
+	}
+	r.outputs[p].Pop()
+	r.linkBusy[p] = now + int64(pkt.Size)
+	next, nport := r.topo.Neighbor(r.id, p)
+	latency := int64(r.params.LinkLatency(r.topo.PortKind(r.id, p)))
+	r.env.ScheduleArrival(latency+int64(pkt.Size), next, nport, destVC, pkt, kind)
+}
+
+func (r *Router) transmitEject(now int64, p, c int) {
+	if r.ejBusy[p][c] > now {
+		return
+	}
+	pkt, _, _ := r.eject[p][c].Head(now)
+	if pkt == nil {
+		return
+	}
+	r.eject[p][c].Pop()
+	r.ejBusy[p][c] = now + int64(pkt.Size)
+	r.env.ScheduleDelivery(int64(r.params.InjectionLatency+pkt.Size), pkt)
+}

@@ -1,0 +1,193 @@
+package router
+
+import (
+	"testing"
+
+	"flexvc/internal/buffer"
+	"flexvc/internal/core"
+	"flexvc/internal/packet"
+	"flexvc/internal/routing"
+	"flexvc/internal/topology"
+)
+
+// fakeEnv is a minimal router environment: it wires a single router's output
+// ports back to stand-alone input buffers and records scheduled events.
+type fakeEnv struct {
+	topo       topology.Topology
+	downstream map[int]*buffer.InputBuffer // keyed by output port
+	arrivals   []struct {
+		delay int64
+		port  int
+		vc    int
+		pkt   *packet.Packet
+	}
+	credits    int
+	deliveries []*packet.Packet
+}
+
+func (f *fakeEnv) DownstreamInput(r packet.RouterID, port int) *buffer.InputBuffer {
+	return f.downstream[port]
+}
+
+func (f *fakeEnv) ScheduleArrival(delay int64, to packet.RouterID, port, vc int, pkt *packet.Packet, kind packet.RouteKind) {
+	f.arrivals = append(f.arrivals, struct {
+		delay int64
+		port  int
+		vc    int
+		pkt   *packet.Packet
+	}{delay, port, vc, pkt})
+}
+
+func (f *fakeEnv) ScheduleCredit(delay int64, buf *buffer.InputBuffer, vc, size int, kind packet.RouteKind) {
+	f.credits++
+}
+
+func (f *fakeEnv) ScheduleDelivery(delay int64, pkt *packet.Packet) {
+	f.deliveries = append(f.deliveries, pkt)
+}
+
+func testParams(numClasses int) Params {
+	return Params{
+		Speedup:          2,
+		Pipeline:         2,
+		OutputBufPhits:   32,
+		InjectionQueues:  2,
+		NumClasses:       numClasses,
+		LocalLatency:     4,
+		GlobalLatency:    10,
+		InjectionLatency: 1,
+		BufferConfig: func(kind topology.PortKind, numVCs int) buffer.Config {
+			return buffer.StaticConfig(numVCs, 32)
+		},
+	}
+}
+
+func buildRouter(t *testing.T) (*Router, *fakeEnv, *topology.Dragonfly) {
+	t.Helper()
+	topo, err := topology.NewDragonfly(2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := core.Scheme{Policy: core.FlexVC, VCs: core.SingleClass(2, 1), Selection: core.JSQ}
+	rt, err := New(0, topo, scheme, routing.NewMinimal(topo), testParams(1), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &fakeEnv{topo: topo, downstream: map[int]*buffer.InputBuffer{}}
+	for p := 0; p < topo.Radix(); p++ {
+		if topo.PortKind(0, p) == topology.Terminal {
+			continue
+		}
+		numVCs := scheme.VCs.TotalOf(topo.PortKind(0, p))
+		env.downstream[p] = buffer.NewInputBuffer(buffer.StaticConfig(numVCs, 64))
+	}
+	rt.SetEnv(env)
+	return rt, env, topo
+}
+
+// TestParamsValidation checks the parameter guard rails.
+func TestParamsValidation(t *testing.T) {
+	good := testParams(1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.Speedup = 0 },
+		func(p *Params) { p.Pipeline = -1 },
+		func(p *Params) { p.OutputBufPhits = 0 },
+		func(p *Params) { p.InjectionQueues = 0 },
+		func(p *Params) { p.NumClasses = 0 },
+		func(p *Params) { p.BufferConfig = nil },
+	}
+	for i, mut := range bad {
+		p := testParams(1)
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	if good.LinkLatency(topology.Global) != 10 || good.LinkLatency(topology.Local) != 4 || good.LinkLatency(topology.Terminal) != 1 {
+		t.Error("LinkLatency broken")
+	}
+}
+
+// TestForwardMinimalPacket injects a packet into a router's injection buffer
+// and checks that it is allocated, consumes downstream credits and leaves on
+// the right link.
+func TestForwardMinimalPacket(t *testing.T) {
+	rt, env, topo := buildRouter(t)
+
+	// A packet from node 0 (attached to router 0) to a node of another
+	// group, so its first hop is deterministic.
+	dst := topo.NodeAt(topo.RouterInGroup(1, 0), 0)
+	pkt := packet.New(1, topo.NodeAt(0, 0), dst, 8, packet.Request, 0)
+	pkt.SrcRouter = 0
+	pkt.DstRouter = topo.RouterOfNode(dst)
+
+	inj := rt.Input(0)
+	if !inj.Reserve(0, pkt.Size, packet.Minimal) {
+		t.Fatal("injection buffer should have room")
+	}
+	inj.Enqueue(0, pkt, 0, packet.Minimal)
+
+	wantPort := topo.NextMinimalPort(0, pkt.DstRouter)
+	for cyc := int64(0); cyc < 40 && len(env.arrivals) == 0; cyc++ {
+		rt.Step(cyc)
+	}
+	if len(env.arrivals) != 1 {
+		t.Fatalf("expected one arrival, got %d", len(env.arrivals))
+	}
+	if rt.Grants() != 1 {
+		t.Fatalf("expected one grant, got %d", rt.Grants())
+	}
+	arr := env.arrivals[0]
+	_, wantInPort := topo.Neighbor(0, wantPort)
+	if arr.port != wantInPort {
+		t.Errorf("packet left through the wrong link (arrives at port %d, want %d)", arr.port, wantInPort)
+	}
+	if env.downstream[wantPort].CommittedOf(arr.vc) != pkt.Size {
+		t.Error("downstream credits were not consumed")
+	}
+	if env.credits == 0 {
+		t.Error("the input buffer credit return was never scheduled")
+	}
+	if pkt.Route.Hops != 1 || pkt.Route.InputVC != arr.vc {
+		t.Errorf("route state not updated: %+v", pkt.Route)
+	}
+	if rt.ResidentPackets() != 0 {
+		t.Error("packet should have left the router")
+	}
+}
+
+// TestEjectionByClass checks that packets destined to local nodes are
+// delivered through the per-class ejection channels.
+func TestEjectionByClass(t *testing.T) {
+	topo, err := topology.NewDragonfly(2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := core.Scheme{Policy: core.Baseline, VCs: core.TwoClass(2, 1, 2, 1), Selection: core.JSQ}
+	rt, err := New(0, topo, scheme, routing.NewMinimal(topo), testParams(2), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &fakeEnv{topo: topo, downstream: map[int]*buffer.InputBuffer{}}
+	rt.SetEnv(env)
+
+	// A reply arriving on a local input port, destined to node 1 of router 0.
+	pkt := packet.New(2, topo.NodeAt(5, 0), topo.NodeAt(0, 1), 8, packet.Reply, 0)
+	pkt.SrcRouter = 5
+	pkt.DstRouter = 0
+	pkt.Route.InputVC = 2
+	localPort := topo.FirstLocalPort()
+	in := rt.Input(localPort)
+	in.Reserve(2, pkt.Size, packet.Minimal)
+	in.Enqueue(2, pkt, 0, packet.Minimal)
+
+	for cyc := int64(0); cyc < 40 && len(env.deliveries) == 0; cyc++ {
+		rt.Step(cyc)
+	}
+	if len(env.deliveries) != 1 || env.deliveries[0] != pkt {
+		t.Fatalf("reply was not delivered (deliveries=%d)", len(env.deliveries))
+	}
+}

@@ -1,0 +1,62 @@
+package routing
+
+import (
+	"flexvc/internal/packet"
+	"flexvc/internal/topology"
+)
+
+// Minimal routes every packet along a minimal path.
+type Minimal struct {
+	topo topology.Topology
+}
+
+// NewMinimal builds a minimal-routing algorithm for the topology.
+func NewMinimal(topo topology.Topology) *Minimal { return &Minimal{topo: topo} }
+
+// Kind implements Algorithm.
+func (m *Minimal) Kind() Kind { return MIN }
+
+// MaxPlannedHops implements Algorithm.
+func (m *Minimal) MaxPlannedHops() topology.HopCount { return m.topo.Diameter() }
+
+// Route implements Algorithm.
+func (m *Minimal) Route(cur packet.RouterID, pkt *packet.Packet, _ RandSource) Decision {
+	pkt.Route.Kind = packet.Minimal
+	pkt.Route.Phase = packet.PhaseToDestination
+	return routeToward(m.topo, cur, pkt)
+}
+
+// Valiant routes every packet minimally to a uniformly random intermediate
+// router (Valiant-node randomisation, "real" Valiant in the paper's
+// terminology) and then minimally to the destination. It makes adversarial
+// traffic uniform at the cost of doubling the path length.
+type Valiant struct {
+	topo topology.Topology
+}
+
+// NewValiant builds a Valiant-routing algorithm for the topology.
+func NewValiant(topo topology.Topology) *Valiant { return &Valiant{topo: topo} }
+
+// Kind implements Algorithm.
+func (v *Valiant) Kind() Kind { return VAL }
+
+// MaxPlannedHops implements Algorithm.
+func (v *Valiant) MaxPlannedHops() topology.HopCount { return v.topo.MaxValiantHops() }
+
+// Route implements Algorithm.
+func (v *Valiant) Route(cur packet.RouterID, pkt *packet.Packet, rng RandSource) Decision {
+	r := &pkt.Route
+	if !r.AdaptiveDecided {
+		r.AdaptiveDecided = true
+		r.Kind = packet.Nonminimal
+		r.Phase = packet.PhaseToIntermediate
+		r.Intermediate = RandomIntermediate(v.topo, rng)
+	}
+	return routeToward(v.topo, cur, pkt)
+}
+
+// RandomIntermediate draws a uniformly random intermediate router for Valiant
+// routing.
+func RandomIntermediate(topo topology.Topology, rng RandSource) packet.RouterID {
+	return packet.RouterID(rng.Intn(topo.NumRouters()))
+}

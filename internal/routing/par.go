@@ -1,0 +1,98 @@
+package routing
+
+import (
+	"flexvc/internal/packet"
+	"flexvc/internal/topology"
+)
+
+// PARConfig collects the Progressive Adaptive Routing parameters.
+type PARConfig struct {
+	// ThresholdPhits is the offset of the local credit comparison in phits.
+	ThresholdPhits int
+	// Sensing selects per-port or per-VC occupancy measurement for the
+	// local comparison.
+	Sensing Sensing
+	// MinCredOnly restricts measurements to minimal credits.
+	MinCredOnly bool
+	// ClassVC maps message classes to the VC index used by per-VC sensing.
+	ClassVC [packet.NumClasses]int
+}
+
+// Progressive implements PAR (Progressive Adaptive Routing): packets start on
+// the minimal path and the misrouting decision is re-evaluated at every
+// router of the source group until the packet either diverts to a Valiant
+// path or takes its global hop. Re-evaluating after a local hop lets the
+// packet observe the congestion of the global link directly, at the cost of
+// one extra local hop on diverted paths (hence the 5/2 VC requirement for
+// safe paths).
+type Progressive struct {
+	topo  topology.Topology
+	probe Probe
+	cfg   PARConfig
+}
+
+// NewProgressive builds a PAR algorithm.
+func NewProgressive(topo topology.Topology, probe Probe, cfg PARConfig) *Progressive {
+	return &Progressive{topo: topo, probe: probe, cfg: cfg}
+}
+
+// Kind implements Algorithm.
+func (p *Progressive) Kind() Kind { return PAR }
+
+// MaxPlannedHops implements Algorithm. PAR paths add one local hop to the
+// Valiant worst case.
+func (p *Progressive) MaxPlannedHops() topology.HopCount {
+	hc := p.topo.MaxValiantHops()
+	hc.Local++
+	return hc
+}
+
+// Route implements Algorithm.
+func (p *Progressive) Route(cur packet.RouterID, pkt *packet.Packet, rng RandSource) Decision {
+	r := &pkt.Route
+	if !r.AdaptiveDecided {
+		inSourceGroup := p.topo.GroupOf(cur) == p.topo.GroupOf(pkt.SrcRouter)
+		switch {
+		case !inSourceGroup:
+			// The packet left the source group minimally: commit to MIN.
+			r.AdaptiveDecided = true
+		case p.shouldDivert(cur, pkt):
+			r.AdaptiveDecided = true
+			r.Kind = packet.Nonminimal
+			r.Phase = packet.PhaseToIntermediate
+			r.Intermediate = RandomIntermediate(p.topo, rng)
+			r.DivertPrefixLocal = r.LocalHops
+		case r.Hops >= 1:
+			// Already took an in-group hop without diverting: commit to MIN
+			// rather than wandering inside the source group.
+			r.AdaptiveDecided = true
+		}
+	}
+	return routeToward(p.topo, cur, pkt)
+}
+
+// shouldDivert compares the congestion of the next minimal hop against the
+// configured threshold. Unlike PB there is no remote information: only the
+// local occupancy of the candidate output port is observed.
+func (p *Progressive) shouldDivert(cur packet.RouterID, pkt *packet.Packet) bool {
+	if cur == pkt.DstRouter {
+		return false
+	}
+	minPort := p.topo.NextMinimalPort(cur, pkt.DstRouter)
+	if minPort < 0 {
+		return false
+	}
+	vc := -1
+	if p.cfg.Sensing == SensePerVC {
+		vc = p.cfg.ClassVC[pkt.Class]
+	}
+	occ := p.probe.OutputOccupancy(cur, minPort, vc, p.cfg.MinCredOnly)
+	capacity := p.probe.OutputCapacity(cur, minPort, vc)
+	if capacity <= 0 {
+		return false
+	}
+	// Divert when the minimal next hop is more than half full and above the
+	// threshold; this keeps PAR conservative under uniform traffic while
+	// reacting to the saturated global links adversarial traffic creates.
+	return occ > p.cfg.ThresholdPhits && 2*occ > capacity
+}

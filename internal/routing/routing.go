@@ -1,0 +1,219 @@
+// Package routing implements the routing mechanisms evaluated in the FlexVC
+// paper: oblivious minimal (MIN) and Valiant (VAL) routing, in-transit
+// Progressive Adaptive Routing (PAR) and the Piggyback (PB) source-adaptive
+// mechanism with per-port and per-VC congestion sensing, optionally restricted
+// to minimal credits (FlexVC-minCred).
+//
+// A routing algorithm decides, for the packet at the head of an input VC,
+// which output port it should request next, updating the packet's route state
+// (minimal vs Valiant, current phase, intermediate router). The virtual
+// channel used on that hop is decided separately by the VC management scheme
+// in internal/core.
+package routing
+
+import (
+	"fmt"
+
+	"flexvc/internal/packet"
+	"flexvc/internal/topology"
+)
+
+// Kind enumerates the implemented routing algorithms.
+type Kind uint8
+
+const (
+	// MIN routes every packet minimally.
+	MIN Kind = iota
+	// VAL routes every packet through a uniformly random intermediate
+	// router (Valiant-node randomisation).
+	VAL
+	// PAR is Progressive Adaptive Routing: packets start minimally and may
+	// divert to a Valiant path after the first local hop if congestion is
+	// detected in transit.
+	PAR
+	// PB is the Piggyback source-adaptive mechanism: the source router
+	// chooses between the minimal and a Valiant path using piggybacked
+	// remote saturation information plus a local credit comparison.
+	PB
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case MIN:
+		return "min"
+	case VAL:
+		return "val"
+	case PAR:
+		return "par"
+	case PB:
+		return "pb"
+	default:
+		return fmt.Sprintf("routing(%d)", uint8(k))
+	}
+}
+
+// ParseKind parses the textual form produced by String.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range []Kind{MIN, VAL, PAR, PB} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return MIN, fmt.Errorf("unknown routing algorithm %q", s)
+}
+
+// Nonminimal reports whether the algorithm can produce non-minimal routes and
+// therefore needs VCs provisioned for Valiant paths.
+func (k Kind) Nonminimal() bool { return k != MIN }
+
+// Sensing selects how Piggyback measures the occupancy of a global port when
+// deciding whether it is saturated, and how the local credit comparison is
+// performed.
+type Sensing uint8
+
+const (
+	// SensePerPort sums the occupancy of every VC of the port.
+	SensePerPort Sensing = iota
+	// SensePerVC considers only the first VC a packet would use on that
+	// port (VC0 of the relevant subsequence).
+	SensePerVC
+)
+
+// String implements fmt.Stringer.
+func (s Sensing) String() string {
+	if s == SensePerVC {
+		return "per-vc"
+	}
+	return "per-port"
+}
+
+// ParseSensing parses the textual form produced by String.
+func ParseSensing(v string) (Sensing, error) {
+	switch v {
+	case "per-port", "perport", "port":
+		return SensePerPort, nil
+	case "per-vc", "pervc", "vc":
+		return SensePerVC, nil
+	}
+	return SensePerPort, fmt.Errorf("unknown sensing mode %q", v)
+}
+
+// RandSource is the subset of math/rand the algorithms need; the simulator
+// provides a deterministic per-router source.
+type RandSource interface {
+	Intn(n int) int
+	Float64() float64
+}
+
+// Probe gives routing algorithms visibility into buffer occupancies for
+// congestion sensing. It is implemented by the simulator.
+type Probe interface {
+	// OutputOccupancy returns the committed occupancy, in phits, of the
+	// downstream input buffer reached through output port `port` of router
+	// r, as seen by r's credit counters. With vc >= 0 only that VC is
+	// considered; vc < 0 sums every VC. With minOnly, only space committed
+	// by minimally routed packets is counted (FlexVC-minCred).
+	OutputOccupancy(r packet.RouterID, port int, vc int, minOnly bool) int
+	// OutputCapacity returns the total capacity, in phits, of that
+	// downstream input buffer (vc semantics as above).
+	OutputCapacity(r packet.RouterID, port int, vc int) int
+}
+
+// Decision is the result of a routing query for one packet at one router.
+type Decision struct {
+	// OutPort is the output port the packet should request.
+	OutPort int
+	// Deliver is true when the packet has reached its destination router
+	// and should be consumed through a terminal port.
+	Deliver bool
+}
+
+// Algorithm is the interface shared by all routing mechanisms.
+type Algorithm interface {
+	// Kind returns the algorithm identifier.
+	Kind() Kind
+	// Route returns the routing decision for pkt at router cur, updating
+	// the packet's route state (Valiant decisions, phase transitions) as a
+	// side effect. rng is the per-router deterministic random source.
+	Route(cur packet.RouterID, pkt *packet.Packet, rng RandSource) Decision
+	// MaxPlannedHops returns the worst-case hop count the algorithm can
+	// plan, used to validate VC configurations.
+	MaxPlannedHops() topology.HopCount
+}
+
+// PlannedRemaining returns the hop-kind sequence remaining on the packet's
+// currently planned route from router `from` (exclusive) to its destination
+// router: through the Valiant intermediate while in the first phase, directly
+// otherwise.
+func PlannedRemaining(topo topology.Topology, from packet.RouterID, pkt *packet.Packet) topology.PathSeq {
+	if pkt.Route.Kind == packet.Nonminimal && pkt.Route.Phase == packet.PhaseToIntermediate {
+		a := topology.MinimalSeq(topo, from, pkt.Route.Intermediate)
+		b := topology.MinimalSeq(topo, pkt.Route.Intermediate, pkt.DstRouter)
+		return a.Concat(b)
+	}
+	return topology.MinimalSeq(topo, from, pkt.DstRouter)
+}
+
+// EscapeRemaining returns the hop-kind sequence of the minimal (escape) path
+// from router `from` to the packet's destination router.
+func EscapeRemaining(topo topology.Topology, from packet.RouterID, pkt *packet.Packet) topology.PathSeq {
+	return topology.MinimalSeq(topo, from, pkt.DstRouter)
+}
+
+// BaselinePosition returns the position of the packet's next hop within the
+// reference path of its route, per link kind — the input the baseline
+// (fixed-order) VC assignment needs. Positions follow the paper's notation:
+//
+//   - Dragonfly minimal paths l0-g1-l2: the local position is 0 in the source
+//     group and 1 in the destination group (i.e. the number of global hops
+//     already taken), and the global position is the number of global hops
+//     taken. Skipped hops keep the positions of the remaining hops.
+//   - Dragonfly Valiant paths l0-g1-l2-l3-g4-l5: local hops taken after the
+//     Valiant intermediate router has been passed shift one extra position.
+//   - PAR-diverted packets shift local positions by the local hops taken
+//     before the diversion (the l0-l1-g2-... reference).
+//   - Flat topologies (all links Local, no skippable hops that could break
+//     the order) simply use the number of hops of that kind already taken.
+func BaselinePosition(topo topology.Topology, pkt *packet.Packet) topology.HopCount {
+	r := &pkt.Route
+	if _, hierarchical := topo.(*topology.Dragonfly); !hierarchical {
+		return topology.HopCount{Local: r.LocalHops, Global: r.GlobalHops}
+	}
+	pos := topology.HopCount{Local: r.GlobalHops, Global: r.GlobalHops}
+	if r.Kind == packet.Nonminimal {
+		if r.Phase == packet.PhaseToDestination {
+			pos.Local++
+		}
+		if r.DivertPrefixLocal > 0 {
+			pos.Local += r.DivertPrefixLocal
+		}
+	}
+	return pos
+}
+
+// currentTarget returns the router the packet is currently heading to
+// minimally: the Valiant intermediate during the first phase, the destination
+// otherwise. It also performs the phase transition once the intermediate has
+// been reached.
+func currentTarget(cur packet.RouterID, pkt *packet.Packet) packet.RouterID {
+	r := &pkt.Route
+	if r.Kind == packet.Nonminimal && r.Phase == packet.PhaseToIntermediate {
+		if cur == r.Intermediate {
+			r.Phase = packet.PhaseToDestination
+		} else {
+			return r.Intermediate
+		}
+	}
+	return pkt.DstRouter
+}
+
+// routeToward resolves the next minimal hop toward the packet's current
+// target, or delivery when the destination router has been reached.
+func routeToward(topo topology.Topology, cur packet.RouterID, pkt *packet.Packet) Decision {
+	target := currentTarget(cur, pkt)
+	if cur == pkt.DstRouter && target == pkt.DstRouter {
+		return Decision{OutPort: -1, Deliver: true}
+	}
+	return Decision{OutPort: topo.NextMinimalPort(cur, target)}
+}

@@ -1,0 +1,334 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexvc/internal/packet"
+	"flexvc/internal/topology"
+)
+
+func testDF(t *testing.T) *topology.Dragonfly {
+	t.Helper()
+	d, err := topology.NewDragonfly(2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// fakeProbe is a configurable congestion oracle for unit tests.
+type fakeProbe struct {
+	occ map[[2]int]int // (router, port) -> phits
+	cap int
+}
+
+func (f *fakeProbe) OutputOccupancy(r packet.RouterID, port int, vc int, minOnly bool) int {
+	return f.occ[[2]int{int(r), port}]
+}
+func (f *fakeProbe) OutputCapacity(r packet.RouterID, port int, vc int) int {
+	if f.cap == 0 {
+		return 64
+	}
+	return f.cap
+}
+
+// walk routes a packet hop by hop until delivery, returning the sequence of
+// port kinds traversed. It fails the test if the route does not converge.
+func walk(t *testing.T, topo topology.Topology, alg Algorithm, pkt *packet.Packet, rng RandSource) []topology.PortKind {
+	t.Helper()
+	var kinds []topology.PortKind
+	cur := pkt.SrcRouter
+	for hops := 0; ; hops++ {
+		if hops > 16 {
+			t.Fatalf("route %d->%d did not converge", pkt.Src, pkt.Dst)
+		}
+		dec := alg.Route(cur, pkt, rng)
+		if dec.Deliver {
+			return kinds
+		}
+		kind := topo.PortKind(cur, dec.OutPort)
+		kinds = append(kinds, kind)
+		switch kind {
+		case topology.Local:
+			pkt.Route.LocalHops++
+		case topology.Global:
+			pkt.Route.GlobalHops++
+		}
+		pkt.Route.Hops++
+		cur, _ = topo.Neighbor(cur, dec.OutPort)
+	}
+}
+
+func newPacket(topo topology.Topology, src, dst packet.NodeID) *packet.Packet {
+	p := packet.New(1, src, dst, 8, packet.Request, 0)
+	p.SrcRouter = topo.RouterOfNode(src)
+	p.DstRouter = topo.RouterOfNode(dst)
+	return p
+}
+
+// TestMinimalRouteLengths checks MIN routing against MinimalHops for every
+// pair of a small dragonfly.
+func TestMinimalRouteLengths(t *testing.T) {
+	topo := testDF(t)
+	alg := NewMinimal(topo)
+	rng := rand.New(rand.NewSource(1))
+	for src := 0; src < topo.NumNodes(); src += 3 {
+		for dst := 0; dst < topo.NumNodes(); dst += 5 {
+			if src == dst {
+				continue
+			}
+			pkt := newPacket(topo, packet.NodeID(src), packet.NodeID(dst))
+			kinds := walk(t, topo, alg, pkt, rng)
+			want := topo.MinimalHops(pkt.SrcRouter, pkt.DstRouter).Total()
+			if len(kinds) != want {
+				t.Fatalf("MIN route %d->%d took %d hops, want %d", src, dst, len(kinds), want)
+			}
+			if pkt.Route.Kind != packet.Minimal {
+				t.Fatal("MIN must mark packets as minimally routed")
+			}
+		}
+	}
+	if alg.Kind() != MIN || alg.MaxPlannedHops() != topo.Diameter() {
+		t.Error("MIN metadata broken")
+	}
+}
+
+// TestValiantRouteShape checks that Valiant routes visit the chosen
+// intermediate router and never exceed twice the diameter.
+func TestValiantRouteShape(t *testing.T) {
+	topo := testDF(t)
+	alg := NewValiant(topo)
+	rng := rand.New(rand.NewSource(2))
+	maxHops := topo.MaxValiantHops().Total()
+	nonminimal := 0
+	for i := 0; i < 300; i++ {
+		src := packet.NodeID(rng.Intn(topo.NumNodes()))
+		dst := packet.NodeID(rng.Intn(topo.NumNodes()))
+		if src == dst {
+			continue
+		}
+		pkt := newPacket(topo, src, dst)
+		kinds := walk(t, topo, alg, pkt, rng)
+		if len(kinds) > maxHops {
+			t.Fatalf("VAL route %d->%d took %d hops, max is %d", src, dst, len(kinds), maxHops)
+		}
+		if pkt.Route.Kind != packet.Nonminimal {
+			t.Fatal("VAL must mark packets as non-minimally routed")
+		}
+		if pkt.Route.Phase != packet.PhaseToDestination {
+			t.Fatal("delivered packets must have completed the intermediate phase")
+		}
+		if len(kinds) > topo.MinimalHops(pkt.SrcRouter, pkt.DstRouter).Total() {
+			nonminimal++
+		}
+	}
+	if nonminimal == 0 {
+		t.Error("Valiant routing never took a longer-than-minimal path across 300 packets")
+	}
+	if alg.Kind() != VAL {
+		t.Error("VAL metadata broken")
+	}
+}
+
+// TestBaselinePositionDragonfly checks the positional VC indices used by the
+// baseline policy for minimal and Valiant packets.
+func TestBaselinePositionDragonfly(t *testing.T) {
+	topo := testDF(t)
+	pkt := newPacket(topo, 0, packet.NodeID(topo.NumNodes()-1))
+
+	// Minimal packet in its source group.
+	pkt.Route.Kind = packet.Minimal
+	if pos := BaselinePosition(topo, pkt); pos.Local != 0 || pos.Global != 0 {
+		t.Errorf("source-group minimal position = %+v", pos)
+	}
+	// After the global hop.
+	pkt.Route.GlobalHops = 1
+	if pos := BaselinePosition(topo, pkt); pos.Local != 1 || pos.Global != 1 {
+		t.Errorf("dest-group minimal position = %+v", pos)
+	}
+	// Valiant packet, second phase in the intermediate group.
+	pkt.Route.Kind = packet.Nonminimal
+	pkt.Route.Phase = packet.PhaseToDestination
+	pkt.Route.GlobalHops = 1
+	if pos := BaselinePosition(topo, pkt); pos.Local != 2 {
+		t.Errorf("post-intermediate Valiant local position = %+v", pos)
+	}
+	// Destination group of a Valiant path.
+	pkt.Route.GlobalHops = 2
+	if pos := BaselinePosition(topo, pkt); pos.Local != 3 || pos.Global != 2 {
+		t.Errorf("dest-group Valiant position = %+v", pos)
+	}
+	// PAR-diverted packets shift by the pre-diversion local hops.
+	pkt.Route.GlobalHops = 0
+	pkt.Route.Phase = packet.PhaseToIntermediate
+	pkt.Route.DivertPrefixLocal = 1
+	if pos := BaselinePosition(topo, pkt); pos.Local != 1 {
+		t.Errorf("PAR-diverted source-group position = %+v", pos)
+	}
+
+	// Flat topologies just count hops.
+	fb, _ := topology.NewFlattenedButterfly2D(3, 1)
+	fpkt := newPacket(fb, 0, 5)
+	fpkt.Route.LocalHops = 1
+	if pos := BaselinePosition(fb, fpkt); pos.Local != 1 {
+		t.Errorf("flat position = %+v", pos)
+	}
+}
+
+// TestPBManagerSaturation checks the saturation marking rule against a fake
+// probe.
+func TestPBManagerSaturation(t *testing.T) {
+	topo := testDF(t)
+	probe := &fakeProbe{occ: map[[2]int]int{}}
+	cfg := DefaultPBConfig(8, 0)
+	cfg.Sensing = SensePerPort
+	m := NewPBManager(topo, probe, cfg, 1)
+
+	first := topo.FirstGlobalPort()
+	// Router 0: one global port far above the router's average.
+	probe.occ[[2]int{0, first}] = 64
+	probe.occ[[2]int{0, first + 1}] = 8
+	// Router 1: balanced occupancy, nothing saturated.
+	probe.occ[[2]int{1, first}] = 32
+	probe.occ[[2]int{1, first + 1}] = 32
+	m.Update(0)
+
+	if !m.Saturated(packet.Request, 0, 0) {
+		t.Error("router 0 global port 0 should be saturated (64 vs average 36)")
+	}
+	if m.Saturated(packet.Request, 0, 1) {
+		t.Error("router 0 global port 1 should not be saturated")
+	}
+	if m.Saturated(packet.Request, 1, 0) || m.Saturated(packet.Request, 1, 1) {
+		t.Error("balanced ports should not be saturated")
+	}
+	// Below the noise floor nothing is saturated even if unbalanced.
+	probe.occ[[2]int{0, first}] = 4
+	probe.occ[[2]int{0, first + 1}] = 0
+	m.Update(1)
+	if m.Saturated(packet.Request, 0, 0) {
+		t.Error("occupancy below one packet should never mark saturation")
+	}
+}
+
+// TestPBManagerPublicationDelay checks that saturation bits only become
+// visible at the configured interval.
+func TestPBManagerPublicationDelay(t *testing.T) {
+	topo := testDF(t)
+	probe := &fakeProbe{occ: map[[2]int]int{}}
+	cfg := DefaultPBConfig(8, 10)
+	m := NewPBManager(topo, probe, cfg, 1)
+	first := topo.FirstGlobalPort()
+
+	m.Update(0) // publishes the all-clear state
+	probe.occ[[2]int{0, first}] = 64
+	m.Update(1)
+	if m.Saturated(packet.Request, 0, 0) {
+		t.Error("saturation must not be visible before the publication interval")
+	}
+	m.Update(11)
+	if !m.Saturated(packet.Request, 0, 0) {
+		t.Error("saturation should be visible after the publication interval")
+	}
+}
+
+// TestPiggybackDecision checks that PB diverts exactly when the minimal
+// global link is marked saturated or the local comparison favours Valiant.
+func TestPiggybackDecision(t *testing.T) {
+	topo := testDF(t)
+	probe := &fakeProbe{occ: map[[2]int]int{}}
+	cfg := DefaultPBConfig(8, 0)
+	cfg.Sensing = SensePerPort
+	m := NewPBManager(topo, probe, cfg, 1)
+	pb := NewPiggyback(topo, probe, m, cfg)
+	rng := rand.New(rand.NewSource(3))
+
+	// Destination in another group, nothing congested: route minimally.
+	dst := topo.NodeAt(topo.RouterInGroup(2, 1), 0)
+	pkt := newPacket(topo, 0, dst)
+	m.Update(0)
+	dec := pb.Route(pkt.SrcRouter, pkt, rng)
+	if pkt.Route.Kind != packet.Minimal {
+		t.Fatalf("uncongested PB decision should be minimal, got %v", pkt.Route.Kind)
+	}
+	if dec.Deliver {
+		t.Fatal("packet cannot be delivered at the source router")
+	}
+
+	// Saturate the minimal global link and re-decide with a fresh packet.
+	gr, gp, _ := topo.MinimalGlobalLink(0, 2)
+	probe.occ[[2]int{int(gr), gp}] = 128
+	// Give the router a second, idle global port so the average stays low.
+	m.Update(0)
+	pkt2 := newPacket(topo, 0, dst)
+	pb.Route(pkt2.SrcRouter, pkt2, rng)
+	if pkt2.Route.Kind != packet.Nonminimal {
+		t.Fatal("PB should divert when the minimal global link is saturated")
+	}
+
+	// Intra-group traffic is always minimal.
+	pkt3 := newPacket(topo, 0, topo.NodeAt(3, 0))
+	pb.Route(pkt3.SrcRouter, pkt3, rng)
+	if pkt3.Route.Kind != packet.Minimal {
+		t.Fatal("intra-group traffic must stay minimal")
+	}
+	if pb.Kind() != PB || pb.Manager() != m {
+		t.Error("PB metadata broken")
+	}
+}
+
+// TestProgressiveDiverts checks that PAR diverts when the minimal next hop is
+// congested and stays minimal otherwise.
+func TestProgressiveDiverts(t *testing.T) {
+	topo := testDF(t)
+	probe := &fakeProbe{occ: map[[2]int]int{}, cap: 64}
+	alg := NewProgressive(topo, probe, PARConfig{ThresholdPhits: 24, Sensing: SensePerPort})
+	rng := rand.New(rand.NewSource(4))
+
+	dst := topo.NodeAt(topo.RouterInGroup(3, 0), 0)
+	pkt := newPacket(topo, 0, dst)
+	alg.Route(pkt.SrcRouter, pkt, rng)
+	if pkt.Route.Kind != packet.Minimal {
+		t.Fatal("PAR should start minimal when uncongested")
+	}
+
+	// Congest the minimal first hop of a fresh packet beyond half capacity.
+	minPort := topo.NextMinimalPort(0, topo.RouterOfNode(dst))
+	probe.occ[[2]int{0, minPort}] = 48
+	pkt2 := newPacket(topo, 0, dst)
+	alg.Route(pkt2.SrcRouter, pkt2, rng)
+	if pkt2.Route.Kind != packet.Nonminimal {
+		t.Fatal("PAR should divert when the minimal next hop is congested")
+	}
+	if pkt2.Route.DivertPrefixLocal != 0 {
+		t.Fatal("diversion at the source router has no local prefix")
+	}
+	if alg.Kind() != PAR || alg.MaxPlannedHops().Local != topo.MaxValiantHops().Local+1 {
+		t.Error("PAR metadata broken")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	for _, k := range []Kind{MIN, VAL, PAR, PB} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind round trip failed for %v", k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("expected error for unknown routing kind")
+	}
+	for _, s := range []Sensing{SensePerPort, SensePerVC} {
+		got, err := ParseSensing(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSensing round trip failed for %v", s)
+		}
+	}
+	if _, err := ParseSensing("bogus"); err == nil {
+		t.Error("expected error for unknown sensing mode")
+	}
+	if MIN.Nonminimal() || !VAL.Nonminimal() || !PB.Nonminimal() {
+		t.Error("Nonminimal broken")
+	}
+}

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"testing"
+
+	"flexvc/internal/config"
+	"flexvc/internal/core"
+	"flexvc/internal/routing"
+)
+
+// pbConfig returns a small-system Piggyback configuration matching the
+// paper's adaptive-routing setup (baseline VC management, 4/2 VCs).
+func pbConfig() config.Config {
+	cfg := config.Small()
+	cfg.Routing = routing.PB
+	cfg.Sensing = routing.SensePerVC
+	cfg.Scheme = core.Scheme{Policy: core.Baseline, VCs: core.SingleClass(4, 2), Selection: core.JSQ}
+	cfg.WarmupCycles = 1500
+	cfg.MeasureCycles = 4000
+	return cfg
+}
+
+// TestPiggybackIdentifiesUniform checks that PB routes mostly minimally under
+// uniform traffic at moderate load.
+func TestPiggybackIdentifiesUniform(t *testing.T) {
+	cfg := pbConfig()
+	cfg.Traffic = config.TrafficUniform
+	cfg.Load = 0.4
+	res, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("UN: %v", res)
+	if res.Deadlock {
+		t.Fatal("deadlock under UN with PB")
+	}
+	if res.MinimalFraction < 0.7 {
+		t.Errorf("PB should route mostly minimally under UN; got %.2f minimal fraction", res.MinimalFraction)
+	}
+	if res.AcceptedLoad < 0.3 {
+		t.Errorf("PB under UN accepted %.3f, expected close to offered 0.4", res.AcceptedLoad)
+	}
+}
+
+// TestPiggybackIdentifiesAdversarial checks that PB diverts most traffic onto
+// Valiant paths under adversarial traffic, sustaining throughput well above
+// the minimal-routing collapse point.
+func TestPiggybackIdentifiesAdversarial(t *testing.T) {
+	cfg := pbConfig()
+	cfg.Traffic = config.TrafficAdversarial
+	cfg.Load = 0.35
+	res, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ADV: %v", res)
+	if res.Deadlock {
+		t.Fatal("deadlock under ADV with PB")
+	}
+	if res.MinimalFraction > 0.6 {
+		t.Errorf("PB should divert most traffic under ADV; got %.2f minimal fraction", res.MinimalFraction)
+	}
+	// Under ADV+1 all minimal traffic of a group shares the single global
+	// link to the next group, capping MIN routing at 1/(a*p) phits/node/
+	// cycle. PB must clearly beat that collapse point by diverting traffic.
+	minCollapse := 1.0 / float64(cfg.A*cfg.P)
+	if res.AcceptedLoad < 1.5*minCollapse {
+		t.Errorf("PB under ADV accepted %.3f, not clearly above the MIN collapse point %.3f", res.AcceptedLoad, minCollapse)
+	}
+}

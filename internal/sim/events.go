@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"fmt"
+
+	"flexvc/internal/buffer"
+	"flexvc/internal/packet"
+	"flexvc/internal/topology"
+)
+
+// eventKind tags the entries of the event wheel.
+type eventKind uint8
+
+const (
+	evArrival eventKind = iota
+	evCredit
+	evDelivery
+)
+
+// event is one scheduled action: a packet arriving at an input VC, a credit
+// returning to an input buffer, or a packet being consumed at its destination
+// node.
+type event struct {
+	kind eventKind
+
+	// arrival
+	router packet.RouterID
+	port   int
+	vc     int
+	pkt    *packet.Packet
+
+	// credit
+	buf  *buffer.InputBuffer
+	size int
+
+	// routing kind recorded when the space was reserved (arrival + credit).
+	rkind packet.RouteKind
+}
+
+// eventWheel is a calendar queue for constant-bounded delays: slot i holds the
+// events due at cycle i (mod the wheel size).
+type eventWheel struct {
+	slots   [][]event
+	horizon int64
+}
+
+// init sizes the wheel for delays up to maxDelay cycles.
+func (w *eventWheel) init(maxDelay int64) {
+	if maxDelay < 1 {
+		maxDelay = 1
+	}
+	w.horizon = maxDelay + 2
+	w.slots = make([][]event, w.horizon)
+}
+
+// schedule inserts an event `delay` cycles after `now`. Delays must be in
+// (0, horizon).
+func (w *eventWheel) schedule(now, delay int64, ev event) {
+	if delay <= 0 || delay >= w.horizon {
+		panic(fmt.Sprintf("sim: event delay %d outside wheel horizon %d", delay, w.horizon))
+	}
+	slot := (now + delay) % w.horizon
+	w.slots[slot] = append(w.slots[slot], ev)
+}
+
+// take removes and returns the events due at cycle `now`.
+func (w *eventWheel) take(now int64) []event {
+	slot := now % w.horizon
+	evs := w.slots[slot]
+	w.slots[slot] = w.slots[slot][:0]
+	return evs
+}
+
+// pending returns the total number of queued events (used by tests).
+func (w *eventWheel) pending() int {
+	n := 0
+	for _, s := range w.slots {
+		n += len(s)
+	}
+	return n
+}
+
+// --- router.Env implementation -------------------------------------------
+
+// DownstreamInput implements router.Env.
+func (n *Network) DownstreamInput(r packet.RouterID, port int) *buffer.InputBuffer {
+	if n.topo.PortKind(r, port) == topology.Terminal {
+		return nil
+	}
+	nbr, nport := n.topo.Neighbor(r, port)
+	return n.routers[nbr].Input(nport)
+}
+
+// ScheduleArrival implements router.Env.
+func (n *Network) ScheduleArrival(delay int64, to packet.RouterID, port, vc int, pkt *packet.Packet, kind packet.RouteKind) {
+	n.wheel.schedule(n.now, delay, event{kind: evArrival, router: to, port: port, vc: vc, pkt: pkt, rkind: kind})
+}
+
+// ScheduleCredit implements router.Env.
+func (n *Network) ScheduleCredit(delay int64, buf *buffer.InputBuffer, vc, size int, kind packet.RouteKind) {
+	n.wheel.schedule(n.now, delay, event{kind: evCredit, buf: buf, vc: vc, size: size, rkind: kind})
+}
+
+// ScheduleDelivery implements router.Env.
+func (n *Network) ScheduleDelivery(delay int64, pkt *packet.Packet) {
+	n.wheel.schedule(n.now, delay, event{kind: evDelivery, pkt: pkt})
+}
+
+// --- routing.Probe implementation -----------------------------------------
+
+// OutputOccupancy implements routing.Probe: the committed occupancy of the
+// downstream input buffer reached through an output port, as the sending
+// router's credit counters see it.
+func (n *Network) OutputOccupancy(r packet.RouterID, port int, vc int, minOnly bool) int {
+	buf := n.DownstreamInput(r, port)
+	if buf == nil {
+		return 0
+	}
+	if vc >= 0 && vc < buf.NumVCs() {
+		if minOnly {
+			return buf.MinCommittedOf(vc)
+		}
+		return buf.CommittedOf(vc)
+	}
+	if minOnly {
+		return buf.TotalMinCommitted()
+	}
+	return buf.TotalCommitted()
+}
+
+// OutputCapacity implements routing.Probe.
+func (n *Network) OutputCapacity(r packet.RouterID, port int, vc int) int {
+	buf := n.DownstreamInput(r, port)
+	if buf == nil {
+		return 0
+	}
+	if vc >= 0 && vc < buf.NumVCs() {
+		return buf.CapacityFor(vc)
+	}
+	return buf.TotalCapacity()
+}

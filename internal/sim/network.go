@@ -1,0 +1,175 @@
+// Package sim assembles the simulated network (topology, routers, traffic
+// generators, routing algorithm and VC management scheme) and drives the
+// cycle-level simulation: packet injection, the event system for link
+// traversal and credit return, packet consumption, statistics collection and
+// deadlock watchdog.
+package sim
+
+import (
+	"fmt"
+
+	"flexvc/internal/buffer"
+	"flexvc/internal/config"
+	"flexvc/internal/core"
+	"flexvc/internal/packet"
+	"flexvc/internal/router"
+	"flexvc/internal/routing"
+	"flexvc/internal/stats"
+	"flexvc/internal/topology"
+	"flexvc/internal/traffic"
+)
+
+// nodeState is the per-node NIC model: an unbounded source queue for new
+// requests, a reply queue that takes priority (the consumption assumption:
+// nodes always sink requests and buffer the replies they owe), and the pacing
+// of the injection link at one phit per cycle.
+type nodeState struct {
+	requests   []*packet.Packet
+	replies    []*packet.Packet
+	nextInject int64
+}
+
+// Network is one simulated network instance.
+type Network struct {
+	cfg  config.Config
+	topo topology.Topology
+
+	scheme  core.Scheme
+	alg     routing.Algorithm
+	pb      *routing.PBManager
+	gen     traffic.Generator
+	routers []*router.Router
+	nodes   []nodeState
+
+	wheel     eventWheel
+	collector *stats.Collector
+
+	now       int64
+	inFlight  int64
+	deadlock  bool
+	generated int64
+}
+
+// New builds a network from a configuration. The configuration is validated
+// first.
+func New(cfg config.Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := cfg.BuildTopology()
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg, topo: topo, scheme: cfg.Scheme}
+
+	// Traffic.
+	gen, err := traffic.New(string(cfg.Traffic), traffic.Params{
+		Topo:           topo,
+		Load:           cfg.Load,
+		PacketSize:     cfg.PacketSize,
+		Seed:           cfg.Seed,
+		AvgBurstLength: cfg.AvgBurstLength,
+	}, cfg.Reactive)
+	if err != nil {
+		return nil, err
+	}
+	n.gen = gen
+
+	// Routing.
+	if err := n.buildRouting(); err != nil {
+		return nil, err
+	}
+
+	// Routers.
+	params := router.Params{
+		Speedup:          cfg.Speedup,
+		Pipeline:         cfg.RouterPipeline,
+		OutputBufPhits:   cfg.OutputBuf,
+		InjectionQueues:  cfg.InjectionQueues,
+		NumClasses:       cfg.NumClasses(),
+		LocalLatency:     cfg.LocalLatency,
+		GlobalLatency:    cfg.GlobalLatency,
+		InjectionLatency: cfg.InjectionLatency,
+		BufferConfig: func(kind topology.PortKind, numVCs int) buffer.Config {
+			return cfg.PortBufferConfig(kind, numVCs)
+		},
+	}
+	n.routers = make([]*router.Router, topo.NumRouters())
+	for r := range n.routers {
+		rt, err := router.New(packet.RouterID(r), topo, cfg.Scheme, n.alg, params, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rt.SetEnv(n)
+		n.routers[r] = rt
+	}
+
+	n.nodes = make([]nodeState, topo.NumNodes())
+	maxDelay := int64(cfg.GlobalLatency + cfg.PacketSize + cfg.RouterPipeline + cfg.LocalLatency + 8)
+	n.wheel.init(maxDelay)
+
+	measureStart := cfg.WarmupCycles
+	measureEnd := cfg.WarmupCycles + cfg.MeasureCycles
+	n.collector = stats.NewCollector(topo.NumNodes(), measureStart, measureEnd)
+	return n, nil
+}
+
+// buildRouting instantiates the routing algorithm (and the PB saturation
+// manager when needed).
+func (n *Network) buildRouting() error {
+	cfg := n.cfg
+	switch cfg.Routing {
+	case routing.MIN:
+		n.alg = routing.NewMinimal(n.topo)
+	case routing.VAL:
+		n.alg = routing.NewValiant(n.topo)
+	case routing.PAR:
+		parCfg := routing.PARConfig{
+			ThresholdPhits: cfg.RoutingThreshold,
+			Sensing:        cfg.Sensing,
+			MinCredOnly:    cfg.Scheme.MinCred,
+		}
+		for c := 0; c < packet.NumClasses; c++ {
+			parCfg.ClassVC[c] = cfg.Scheme.VCs.ClassOffset(packet.Class(c), topology.Global)
+		}
+		n.alg = routing.NewProgressive(n.topo, n, parCfg)
+	case routing.PB:
+		df, ok := n.topo.(*topology.Dragonfly)
+		if !ok {
+			return fmt.Errorf("sim: Piggyback routing requires a Dragonfly topology, got %s", n.topo.Name())
+		}
+		pbCfg := routing.DefaultPBConfig(cfg.PacketSize, int64(cfg.LocalLatency))
+		pbCfg.Sensing = cfg.Sensing
+		pbCfg.MinCredOnly = cfg.Scheme.MinCred
+		pbCfg.ThresholdPhits = cfg.RoutingThreshold
+		for c := 0; c < packet.NumClasses; c++ {
+			pbCfg.ClassVC[c] = cfg.Scheme.VCs.ClassOffset(packet.Class(c), topology.Global)
+		}
+		n.pb = routing.NewPBManager(df, n, pbCfg, cfg.NumClasses())
+		n.alg = routing.NewPiggyback(df, n, n.pb, pbCfg)
+	default:
+		return fmt.Errorf("sim: unknown routing algorithm %v", cfg.Routing)
+	}
+	return nil
+}
+
+// Topology returns the simulated topology.
+func (n *Network) Topology() topology.Topology { return n.topo }
+
+// Config returns the simulation configuration.
+func (n *Network) Config() config.Config { return n.cfg }
+
+// Now returns the current cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// Router returns one router, for tests and probes.
+func (n *Network) Router(id packet.RouterID) *router.Router { return n.routers[id] }
+
+// InFlight returns the number of packets injected but not yet delivered.
+func (n *Network) InFlight() int64 { return n.inFlight }
+
+// Deadlocked reports whether the watchdog detected a deadlock.
+func (n *Network) Deadlocked() bool { return n.deadlock }
+
+// Collector exposes the statistics collector.
+func (n *Network) Collector() *stats.Collector { return n.collector }

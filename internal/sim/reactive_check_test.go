@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"testing"
+
+	"flexvc/internal/config"
+	"flexvc/internal/core"
+)
+
+// TestReactiveRequestReply checks that request-reply traffic flows without
+// protocol deadlock for both the baseline and FlexVC VC managements.
+func TestReactiveRequestReply(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		scheme core.Scheme
+	}{
+		{"baseline 2/1+2/1", core.Scheme{Policy: core.Baseline, VCs: core.TwoClass(2, 1, 2, 1), Selection: core.JSQ}},
+		{"flexvc 2/1+2/1", core.Scheme{Policy: core.FlexVC, VCs: core.TwoClass(2, 1, 2, 1), Selection: core.JSQ}},
+		{"flexvc 4/3+2/1", core.Scheme{Policy: core.FlexVC, VCs: core.TwoClass(4, 3, 2, 1), Selection: core.JSQ}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := config.Small()
+			cfg.Reactive = true
+			cfg.Scheme = tc.scheme
+			cfg.Load = 0.3
+			cfg.WarmupCycles = 1000
+			cfg.MeasureCycles = 3000
+			res, err := RunOne(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%v", res)
+			if res.Deadlock {
+				t.Fatal("deadlock")
+			}
+			if res.ReplyPackets == 0 {
+				t.Fatal("no replies delivered")
+			}
+			// Replies mirror requests, so accepted load should be roughly
+			// twice the offered request load (ratio depends on saturation).
+			if res.AcceptedLoad < 0.35 {
+				t.Errorf("accepted %.3f too low for offered 0.3 requests + replies", res.AcceptedLoad)
+			}
+		})
+	}
+}

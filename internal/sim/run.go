@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fmt"
+
+	"flexvc/internal/config"
+	"flexvc/internal/stats"
+)
+
+// Run simulates warm-up plus measurement cycles (or until the deadlock
+// watchdog fires) and returns the run summary.
+func (n *Network) Run() stats.Result {
+	total := n.cfg.WarmupCycles + n.cfg.MeasureCycles
+	if n.cfg.MaxCycles > 0 && n.cfg.MaxCycles < total {
+		total = n.cfg.MaxCycles
+	}
+	for n.now < total {
+		n.Step()
+		if n.watchdog() {
+			break
+		}
+	}
+	return n.collector.Summarize(n.cfg.Load, n.now, n.deadlock)
+}
+
+// RunCycles advances the simulation by exactly `cycles` cycles (useful for
+// tests that inspect intermediate state).
+func (n *Network) RunCycles(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// watchdog flags a deadlock when packets are in flight but none has been
+// delivered for the configured window. It returns true when the run should be
+// aborted.
+func (n *Network) watchdog() bool {
+	if n.cfg.DeadlockCycles <= 0 || n.inFlight == 0 {
+		return false
+	}
+	last := n.collector.LastDeliveryCycle()
+	if n.collector.TotalDelivered() == 0 {
+		last = 0
+	}
+	if n.now-last > n.cfg.DeadlockCycles {
+		n.deadlock = true
+		return true
+	}
+	return false
+}
+
+// RunOne builds a network for cfg, runs it and returns its summary.
+func RunOne(cfg config.Config) (stats.Result, error) {
+	n, err := New(cfg)
+	if err != nil {
+		return stats.Result{}, err
+	}
+	return n.Run(), nil
+}
+
+// RunAveraged runs `seeds` independent replications (the paper averages 5)
+// and returns the aggregated result together with the individual runs.
+func RunAveraged(cfg config.Config, seeds int) (stats.Result, []stats.Result, error) {
+	if seeds < 1 {
+		return stats.Result{}, nil, fmt.Errorf("sim: need at least one replication")
+	}
+	results := make([]stats.Result, 0, seeds)
+	for s := 0; s < seeds; s++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(s)*7919
+		r, err := RunOne(c)
+		if err != nil {
+			return stats.Result{}, nil, err
+		}
+		results = append(results, r)
+	}
+	return stats.Aggregate(results), results, nil
+}

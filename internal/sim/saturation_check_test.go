@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"testing"
+
+	"flexvc/internal/buffer"
+	"flexvc/internal/config"
+	"flexvc/internal/core"
+)
+
+// TestSaturationOrdering is a coarse check of the paper's headline ordering at
+// full offered load under uniform traffic with MIN routing: FlexVC with a
+// larger VC set should not perform worse than FlexVC with the minimal set,
+// which should not perform worse than the baseline, and DAMQ should land in
+// the same neighbourhood as the baseline. It runs the small configuration, so
+// thresholds are deliberately loose; the precise comparisons live in the
+// figure harness.
+func TestSaturationOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation sweep is slow")
+	}
+	base := config.Small()
+	base.Load = 1.0
+	base.WarmupCycles = 2000
+	base.MeasureCycles = 6000
+
+	run := func(name string, mut func(*config.Config)) float64 {
+		cfg := base
+		mut(&cfg)
+		res, err := RunOne(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		t.Logf("%-22s accepted=%.3f latency=%.0f", name, res.AcceptedLoad, res.AvgLatency)
+		if res.Deadlock {
+			t.Fatalf("%s deadlocked", name)
+		}
+		return res.AcceptedLoad
+	}
+
+	baseline := run("baseline 2/1", func(c *config.Config) {})
+	damq := run("damq75 2/1", func(c *config.Config) {
+		c.BufferOrg = buffer.DAMQ
+	})
+	flex21 := run("flexvc 2/1", func(c *config.Config) {
+		c.Scheme.Policy = core.FlexVC
+	})
+	flex42 := run("flexvc 4/2", func(c *config.Config) {
+		c.Scheme.Policy = core.FlexVC
+		c.Scheme.VCs = core.SingleClass(4, 2)
+	})
+	flex84 := run("flexvc 8/4", func(c *config.Config) {
+		c.Scheme.Policy = core.FlexVC
+		c.Scheme.VCs = core.SingleClass(8, 4)
+	})
+
+	if baseline < 0.3 {
+		t.Errorf("baseline throughput %.3f implausibly low", baseline)
+	}
+	if flex42 < baseline*0.95 {
+		t.Errorf("FlexVC 4/2 (%.3f) should be at least on par with baseline (%.3f)", flex42, baseline)
+	}
+	if flex84 < flex21*0.95 {
+		t.Errorf("FlexVC 8/4 (%.3f) should be at least on par with FlexVC 2/1 (%.3f)", flex84, flex21)
+	}
+	if damq < baseline*0.8 || damq > baseline*1.3 {
+		t.Logf("note: DAMQ throughput %.3f vs baseline %.3f", damq, baseline)
+	}
+	_ = flex21
+}

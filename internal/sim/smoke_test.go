@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+
+	"flexvc/internal/config"
+	"flexvc/internal/core"
+	"flexvc/internal/routing"
+)
+
+// TestSmokeUniformMIN checks that the simulator moves traffic end to end with
+// the baseline configuration on a small dragonfly.
+func TestSmokeUniformMIN(t *testing.T) {
+	cfg := config.Small()
+	cfg.Load = 0.2
+	cfg.WarmupCycles = 500
+	cfg.MeasureCycles = 2000
+	res, err := RunOne(cfg)
+	if err != nil {
+		t.Fatalf("RunOne: %v", err)
+	}
+	t.Logf("result: %v", res)
+	if res.Deadlock {
+		t.Fatalf("unexpected deadlock: %+v", res)
+	}
+	if res.DeliveredPackets == 0 {
+		t.Fatalf("no packets delivered: %+v", res)
+	}
+	if res.AcceptedLoad < 0.15 {
+		t.Errorf("accepted load %.3f far below offered 0.2", res.AcceptedLoad)
+	}
+	if res.AvgLatency <= 0 {
+		t.Errorf("non-positive average latency %.1f", res.AvgLatency)
+	}
+}
+
+// TestSmokeFlexVCValiantADV exercises FlexVC with Valiant routing under
+// adversarial traffic.
+func TestSmokeFlexVCValiantADV(t *testing.T) {
+	cfg := config.Small()
+	cfg.Traffic = config.TrafficAdversarial
+	cfg.Routing = routing.VAL
+	cfg.Scheme = core.Scheme{Policy: core.FlexVC, VCs: core.SingleClass(4, 2), Selection: core.JSQ}
+	cfg.Load = 0.2
+	cfg.WarmupCycles = 500
+	cfg.MeasureCycles = 2000
+	res, err := RunOne(cfg)
+	if err != nil {
+		t.Fatalf("RunOne: %v", err)
+	}
+	t.Logf("result: %v", res)
+	if res.Deadlock || res.DeliveredPackets == 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if res.AcceptedLoad < 0.1 {
+		t.Errorf("accepted load %.3f too low for offered 0.2", res.AcceptedLoad)
+	}
+}

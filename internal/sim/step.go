@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"flexvc/internal/packet"
+)
+
+// Step advances the network by one cycle:
+//
+//  1. process due events (arrivals into input VCs, credit returns, deliveries)
+//  2. inject traffic at the NICs
+//  3. refresh the piggybacked congestion state (PB routing only)
+//  4. step every router (allocation iterations + link transmission)
+func (n *Network) Step() {
+	n.processEvents()
+	n.inject()
+	if n.pb != nil {
+		n.pb.Update(n.now)
+	}
+	for _, r := range n.routers {
+		r.Step(n.now)
+	}
+	n.now++
+}
+
+// processEvents drains the events due this cycle.
+func (n *Network) processEvents() {
+	for _, ev := range n.wheel.take(n.now) {
+		switch ev.kind {
+		case evArrival:
+			// The packet becomes visible to the allocator once the router
+			// pipeline latency has elapsed.
+			ready := n.now + int64(n.cfg.RouterPipeline)
+			n.routers[ev.router].Input(ev.port).Enqueue(ev.vc, ev.pkt, ready, ev.rkind)
+		case evCredit:
+			ev.buf.ReleaseCredit(ev.vc, ev.size, ev.rkind)
+		case evDelivery:
+			n.deliver(ev.pkt)
+		}
+	}
+}
+
+// deliver consumes a packet at its destination node.
+func (n *Network) deliver(pkt *packet.Packet) {
+	pkt.RecvTime = n.now
+	n.inFlight--
+	n.collector.Delivered(pkt, n.now)
+	n.gen.Delivered(n.now, pkt)
+}
+
+// inject runs the NIC model of every node: generate new requests, collect
+// owed replies, and move at most one packet per injection-link transmission
+// time into the source router's injection buffers.
+func (n *Network) inject() {
+	for node := range n.nodes {
+		ns := &n.nodes[node]
+		nid := packet.NodeID(node)
+
+		if pkt := n.gen.Generate(n.now, nid); pkt != nil {
+			n.generated++
+			n.collector.Generated(pkt)
+			ns.requests = append(ns.requests, pkt)
+		}
+		if reply := n.gen.PendingReplies(nid); reply != nil {
+			ns.replies = append(ns.replies, reply)
+		}
+
+		if ns.nextInject > n.now {
+			continue
+		}
+		var queue *[]*packet.Packet
+		switch {
+		case len(ns.replies) > 0:
+			queue = &ns.replies
+		case len(ns.requests) > 0:
+			queue = &ns.requests
+		default:
+			continue
+		}
+		pkt := (*queue)[0]
+		rtr := n.topo.RouterOfNode(nid)
+		port := n.topo.TerminalPort(rtr, nid)
+		buf := n.routers[rtr].Input(port)
+		// Pick the injection VC with the most free space (JSQ over the
+		// injection queues); skip this cycle if none fits.
+		bestVC, bestFree := -1, -1
+		for vc := 0; vc < buf.NumVCs(); vc++ {
+			if free := buf.FreeFor(vc); free >= pkt.Size && free > bestFree {
+				bestVC, bestFree = vc, free
+			}
+		}
+		if bestVC < 0 {
+			continue
+		}
+		if !buf.Reserve(bestVC, pkt.Size, pkt.Route.Kind) {
+			continue
+		}
+		ready := n.now + int64(n.cfg.InjectionLatency+n.cfg.RouterPipeline)
+		buf.Enqueue(bestVC, pkt, ready, pkt.Route.Kind)
+		pkt.InjectTime = n.now
+		n.collector.Injected(pkt)
+		n.inFlight++
+		ns.nextInject = n.now + int64(pkt.Size)
+		*queue = (*queue)[1:]
+	}
+}
+
+// ResidentPackets returns the number of packets currently stored in router
+// buffers across the network.
+func (n *Network) ResidentPackets() int {
+	total := 0
+	for _, r := range n.routers {
+		total += r.ResidentPackets()
+	}
+	return total
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"flexvc/internal/packet"
+)
+
+func delivered(c *Collector, id uint64, gen, inject, recv int64, size int, class packet.Class, kind packet.RouteKind) {
+	p := packet.New(id, 0, 1, size, class, gen)
+	p.InjectTime = inject
+	p.Route.Kind = kind
+	p.Route.Hops = 3
+	c.Generated(p)
+	c.Injected(p)
+	p.RecvTime = recv
+	c.Delivered(p, recv)
+}
+
+func TestCollectorWindowing(t *testing.T) {
+	c := NewCollector(10, 100, 200)
+	// Before the window: counted as delivered but not measured.
+	delivered(c, 1, 0, 5, 50, 8, packet.Request, packet.Minimal)
+	// Inside the window.
+	delivered(c, 2, 60, 70, 120, 8, packet.Request, packet.Minimal)
+	delivered(c, 3, 80, 90, 180, 8, packet.Reply, packet.Nonminimal)
+	// After the window.
+	delivered(c, 4, 150, 160, 250, 8, packet.Request, packet.Minimal)
+
+	if c.TotalDelivered() != 4 || c.TotalGenerated() != 4 {
+		t.Fatal("total counters broken")
+	}
+	if c.LastDeliveryCycle() != 250 {
+		t.Fatal("last delivery cycle broken")
+	}
+	res := c.Summarize(0.5, 200, false)
+	if res.DeliveredPackets != 2 {
+		t.Fatalf("measured %d packets, want 2", res.DeliveredPackets)
+	}
+	// 16 phits over 100 cycles and 10 nodes.
+	if math.Abs(res.AcceptedLoad-16.0/(100*10)) > 1e-9 {
+		t.Fatalf("accepted load %.4f", res.AcceptedLoad)
+	}
+	wantLat := float64((120-60)+(180-80)) / 2
+	if math.Abs(res.AvgLatency-wantLat) > 1e-9 {
+		t.Fatalf("avg latency %.1f, want %.1f", res.AvgLatency, wantLat)
+	}
+	if res.RequestPackets != 1 || res.ReplyPackets != 1 {
+		t.Fatal("class split broken")
+	}
+	if math.Abs(res.MinimalFraction-0.5) > 1e-9 {
+		t.Fatal("minimal fraction broken")
+	}
+	if res.MaxLatency != 100 || res.AvgHops != 3 {
+		t.Fatal("max latency or hops broken")
+	}
+	if res.OfferedLoad != 0.5 || res.SimulatedCycles != 200 || res.Deadlock {
+		t.Fatal("summary metadata broken")
+	}
+	if res.String() == "" {
+		t.Fatal("empty string rendering")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	c := NewCollector(1, 0, 1000)
+	for i := 1; i <= 100; i++ {
+		delivered(c, uint64(i), 0, 0, int64(i), 1, packet.Request, packet.Minimal)
+	}
+	res := c.Summarize(1, 1000, false)
+	if math.Abs(res.P50-50.5) > 1 {
+		t.Errorf("P50 = %.1f", res.P50)
+	}
+	if res.P95 < 94 || res.P95 > 97 {
+		t.Errorf("P95 = %.1f", res.P95)
+	}
+	if res.P99 < 98 || res.P99 > 100 {
+		t.Errorf("P99 = %.1f", res.P99)
+	}
+	if percentile(nil, 0.5) != 0 {
+		t.Error("percentile of no samples should be 0")
+	}
+	if percentile([]float64{7}, 0.99) != 7 {
+		t.Error("percentile of one sample")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	a := Result{OfferedLoad: 0.5, AcceptedLoad: 0.4, AvgLatency: 100, P99: 200, DeliveredPackets: 10, MaxLatency: 300}
+	b := Result{OfferedLoad: 0.5, AcceptedLoad: 0.6, AvgLatency: 200, P99: 400, DeliveredPackets: 20, MaxLatency: 500, Deadlock: true}
+	agg := Aggregate([]Result{a, b})
+	if math.Abs(agg.AcceptedLoad-0.5) > 1e-9 || math.Abs(agg.AvgLatency-150) > 1e-9 {
+		t.Fatalf("aggregate means broken: %+v", agg)
+	}
+	if agg.DeliveredPackets != 30 || agg.MaxLatency != 500 || !agg.Deadlock {
+		t.Fatalf("aggregate extrema broken: %+v", agg)
+	}
+	if empty := Aggregate(nil); empty.DeliveredPackets != 0 {
+		t.Fatal("aggregate of nothing should be zero")
+	}
+}
+
+func TestZeroTrafficSummary(t *testing.T) {
+	c := NewCollector(10, 0, 100)
+	res := c.Summarize(0, 100, false)
+	if res.AcceptedLoad != 0 || res.AvgLatency != 0 || res.P99 != 0 {
+		t.Fatal("empty summary should be all zeros")
+	}
+	start, end := c.MeasureWindow()
+	if start != 0 || end != 100 {
+		t.Fatal("measurement window accessor broken")
+	}
+}

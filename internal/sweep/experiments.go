@@ -1,0 +1,522 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flexvc/internal/buffer"
+	"flexvc/internal/config"
+	"flexvc/internal/core"
+	"flexvc/internal/routing"
+	"flexvc/internal/topology"
+)
+
+// Report is the rendered outcome of one experiment (one paper table or
+// figure), possibly made of several sections (e.g. Figure 5 has UN,
+// BURSTY-UN and ADV panels).
+type Report struct {
+	ID       string
+	Title    string
+	Sections []Section
+	Notes    []string
+}
+
+// Section is one panel of a report.
+type Section struct {
+	Title  string
+	Body   string
+	Series []Series
+}
+
+// Render returns the full text report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "==== %s: %s ====\n", r.ID, r.Title)
+	for _, s := range r.Sections {
+		fmt.Fprintf(&b, "\n-- %s --\n%s", s.Title, s.Body)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\nnote: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is one reproducible artefact of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Report, error)
+}
+
+// Registry returns every experiment, keyed by ID.
+func Registry() map[string]Experiment {
+	exps := []Experiment{
+		{"table1", "Allowed paths using FlexVC in a generic diameter-2 network", runTable("table1", core.TableI)},
+		{"table2", "FlexVC with protocol deadlock in a generic diameter-2 network", runTable("table2", core.TableII)},
+		{"table3", "FlexVC in a Dragonfly (local/global VCs)", runTable("table3", core.TableIII)},
+		{"table4", "FlexVC with protocol deadlock in a Dragonfly", runTable("table4", core.TableIV)},
+		{"fig5", "Latency and throughput under UN/BURSTY-UN/ADV, oblivious routing", runFig5},
+		{"fig6", "Maximum throughput vs buffer capacity per port, oblivious routing", runFig6},
+		{"fig7", "Latency and throughput with request-reply traffic, oblivious routing", runFig7},
+		{"fig8", "Request-reply traffic with Piggyback source-adaptive routing", runFig8},
+		{"fig9", "Throughput at full load vs VC selection function (UN request-reply)", runFig9},
+		{"fig10", "DAMQ private-reservation sweep under UN traffic with MIN routing", runFig10},
+		{"fig11", "Maximum throughput vs buffer capacity without router speedup", runFig11},
+	}
+	m := make(map[string]Experiment, len(exps))
+	for _, e := range exps {
+		m[e.ID] = e
+	}
+	return m
+}
+
+// IDs returns the experiment identifiers in a stable order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, opts Options) (*Report, error) {
+	exp, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("sweep: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return exp.Run(opts)
+}
+
+// --- analytic tables -------------------------------------------------------
+
+func runTable(id string, build func() core.Table) func(Options) (*Report, error) {
+	return func(Options) (*Report, error) {
+		t := build()
+		return &Report{
+			ID:       id,
+			Title:    t.Title,
+			Sections: []Section{{Title: t.Title, Body: t.Render()}},
+		}, nil
+	}
+}
+
+// --- shared variant constructors -------------------------------------------
+
+// baselineVariant is the statically partitioned fixed-order reference.
+func baselineVariant(label string, vcs core.VCConfig) Variant {
+	return Variant{Label: label, Apply: func(c *config.Config) {
+		c.BufferOrg = buffer.Static
+		c.Scheme = core.Scheme{Policy: core.Baseline, VCs: vcs, Selection: core.JSQ}
+	}}
+}
+
+// damqVariant uses the same VC set over DAMQ buffers with 75% private space.
+func damqVariant(label string, vcs core.VCConfig) Variant {
+	return Variant{Label: label, Apply: func(c *config.Config) {
+		c.BufferOrg = buffer.DAMQ
+		c.DAMQPrivateFraction = 0.75
+		c.Scheme = core.Scheme{Policy: core.Baseline, VCs: vcs, Selection: core.JSQ}
+	}}
+}
+
+// flexVariant enables FlexVC over statically partitioned buffers.
+func flexVariant(label string, vcs core.VCConfig) Variant {
+	return Variant{Label: label, Apply: func(c *config.Config) {
+		c.BufferOrg = buffer.Static
+		c.Scheme = core.Scheme{Policy: core.FlexVC, VCs: vcs, Selection: core.JSQ}
+	}}
+}
+
+// withTraffic overlays the traffic pattern and routing algorithm.
+func withTraffic(v Variant, traffic config.TrafficKind, alg routing.Kind, reactive bool) Variant {
+	return Variant{Label: v.Label, Apply: func(c *config.Config) {
+		c.Traffic = traffic
+		c.Routing = alg
+		c.Reactive = reactive
+		v.Apply(c)
+	}}
+}
+
+// scaledVCs scales the paper's VC arrangement strings to configurations.
+func single(l, g int) core.VCConfig { return core.SingleClass(l, g) }
+
+func twoClass(reqL, reqG, repL, repG int) core.VCConfig {
+	return core.TwoClass(reqL, reqG, repL, repG)
+}
+
+// --- Figure 5: oblivious routing, single-class traffic ---------------------
+
+func fig5Variants(adversarial bool) []Variant {
+	if adversarial {
+		return []Variant{
+			baselineVariant("Baseline 4/2", single(4, 2)),
+			damqVariant("DAMQ75 4/2", single(4, 2)),
+			flexVariant("FlexVC 4/2", single(4, 2)),
+			flexVariant("FlexVC 8/4", single(8, 4)),
+		}
+	}
+	return []Variant{
+		baselineVariant("Baseline 2/1", single(2, 1)),
+		damqVariant("DAMQ75 2/1", single(2, 1)),
+		flexVariant("FlexVC 2/1", single(2, 1)),
+		flexVariant("FlexVC 4/2", single(4, 2)),
+		flexVariant("FlexVC 8/4", single(8, 4)),
+	}
+}
+
+func runFig5(opts Options) (*Report, error) {
+	base, err := opts.BaseConfig()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "fig5", Title: "Latency and throughput, oblivious routing (MIN for UN/BURSTY-UN, VAL for ADV)"}
+	panels := []struct {
+		title   string
+		traffic config.TrafficKind
+		alg     routing.Kind
+		loads   []float64
+		adv     bool
+	}{
+		{"(a) UN with MIN routing", config.TrafficUniform, routing.MIN, DefaultLoads, false},
+		{"(b) BURSTY-UN with MIN routing", config.TrafficBursty, routing.MIN, DefaultLoads, false},
+		{"(c) ADV with VAL routing", config.TrafficAdversarial, routing.VAL, AdversarialLoads, true},
+	}
+	for _, p := range panels {
+		variants := make([]Variant, 0, 5)
+		for _, v := range fig5Variants(p.adv) {
+			variants = append(variants, withTraffic(v, p.traffic, p.alg, false))
+		}
+		series, err := LoadSweep(base, variants, opts.loads(p.loads), opts.seeds(), opts.parallelism())
+		if err != nil {
+			return nil, err
+		}
+		rep.Sections = append(rep.Sections, Section{Title: p.title, Body: RenderSeries(p.title, series), Series: series})
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf("scale=%s (%s)", opts.Scale, base.Describe()))
+	return rep, nil
+}
+
+// --- Figures 6 and 11: max throughput vs buffer capacity -------------------
+
+// bufferCapacities returns the per-port (local, global) capacities swept by
+// Figures 6 and 11, scaled to the simulated system size.
+func bufferCapacities(base config.Config) [][2]int {
+	// The paper sweeps 64/256 .. 256/1024 phits per local/global port. The
+	// scaled-down systems use shorter links (smaller round-trip times), so
+	// the sweep is expressed as multiples of the base per-port capacity.
+	baseLocal := base.LocalBufPerVC * 2
+	baseGlobal := base.GlobalBufPerVC * 1
+	caps := make([][2]int, 0, 4)
+	for _, m := range []float64{1, 2, 3, 4} {
+		caps = append(caps, [2]int{int(float64(baseLocal) * m), int(float64(baseGlobal) * m)})
+	}
+	return caps
+}
+
+func runMaxThroughputFigure(id, title string, speedup int, opts Options) (*Report, error) {
+	base, err := opts.BaseConfig()
+	if err != nil {
+		return nil, err
+	}
+	base.Speedup = speedup
+	rep := &Report{ID: id, Title: title}
+	panels := []struct {
+		title   string
+		traffic config.TrafficKind
+		alg     routing.Kind
+		adv     bool
+	}{
+		{"(a) UN with MIN routing", config.TrafficUniform, routing.MIN, false},
+		{"(b) BURSTY-UN with MIN routing", config.TrafficBursty, routing.MIN, false},
+		{"(c) ADV with VAL routing", config.TrafficAdversarial, routing.VAL, true},
+	}
+	caps := bufferCapacities(base)
+	if opts.Quick {
+		caps = caps[:2]
+	}
+	for _, p := range panels {
+		var body strings.Builder
+		var all []Series
+		for _, cap := range caps {
+			variants := make([]Variant, 0, 5)
+			for _, v := range fig5Variants(p.adv) {
+				vv := withTraffic(v, p.traffic, p.alg, false)
+				variants = append(variants, withBufferCapacity(vv, cap[0], cap[1]))
+			}
+			series, err := MaxThroughput(base, variants, opts.seeds(), opts.parallelism())
+			if err != nil {
+				return nil, err
+			}
+			title := fmt.Sprintf("%d/%d phits per local/global port", cap[0], cap[1])
+			body.WriteString(RenderMaxThroughput(title, series))
+			all = append(all, series...)
+		}
+		rep.Sections = append(rep.Sections, Section{Title: p.title, Body: body.String(), Series: all})
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf("router speedup %dx, scale=%s", speedup, opts.Scale))
+	return rep, nil
+}
+
+// withBufferCapacity fixes the total buffer capacity per port, dividing it
+// evenly among however many VCs the variant configures (iso-memory
+// comparison, as in the paper).
+func withBufferCapacity(v Variant, localPerPort, globalPerPort int) Variant {
+	label := fmt.Sprintf("%s @%d/%d", v.Label, localPerPort, globalPerPort)
+	return Variant{Label: label, Apply: func(c *config.Config) {
+		v.Apply(c)
+		lv := c.Scheme.VCs.TotalOf(topology.Local)
+		gv := c.Scheme.VCs.TotalOf(topology.Global)
+		c.LocalBufPerVC = atLeast(localPerPort/lv, c.PacketSize)
+		c.GlobalBufPerVC = atLeast(globalPerPort/gv, c.PacketSize)
+	}}
+}
+
+func atLeast(v, floor int) int {
+	if v < floor {
+		return floor
+	}
+	return v
+}
+
+func runFig6(opts Options) (*Report, error) {
+	return runMaxThroughputFigure("fig6", "Maximum throughput for constant buffer size per port (2x router speedup)", 2, opts)
+}
+
+func runFig11(opts Options) (*Report, error) {
+	return runMaxThroughputFigure("fig11", "Maximum throughput for constant buffer size per port, no router speedup", 1, opts)
+}
+
+// --- Figure 7: request-reply traffic, oblivious routing --------------------
+
+func fig7UniformVariants() []Variant {
+	return []Variant{
+		baselineVariant("Baseline 4/2 (2/1+2/1)", twoClass(2, 1, 2, 1)),
+		damqVariant("DAMQ 4/2 (2/1+2/1)", twoClass(2, 1, 2, 1)),
+		flexVariant("FlexVC 4/2 (2/1+2/1)", twoClass(2, 1, 2, 1)),
+		flexVariant("FlexVC 5/3 (2/1+3/2)", twoClass(2, 1, 3, 2)),
+		flexVariant("FlexVC 5/3 (3/2+2/1)", twoClass(3, 2, 2, 1)),
+		flexVariant("FlexVC 6/4 (2/1+4/3)", twoClass(2, 1, 4, 3)),
+		flexVariant("FlexVC 6/4 (3/2+3/2)", twoClass(3, 2, 3, 2)),
+		flexVariant("FlexVC 6/4 (4/3+2/1)", twoClass(4, 3, 2, 1)),
+	}
+}
+
+func fig7AdversarialVariants() []Variant {
+	return []Variant{
+		baselineVariant("Baseline 8/4 (4/2+4/2)", twoClass(4, 2, 4, 2)),
+		damqVariant("DAMQ 8/4 (4/2+4/2)", twoClass(4, 2, 4, 2)),
+		flexVariant("FlexVC 8/4 (4/2+4/2)", twoClass(4, 2, 4, 2)),
+		flexVariant("FlexVC 10/6 (5/3+5/3)", twoClass(5, 3, 5, 3)),
+		flexVariant("FlexVC 10/6 (6/4+4/2)", twoClass(6, 4, 4, 2)),
+	}
+}
+
+func runFig7(opts Options) (*Report, error) {
+	base, err := opts.BaseConfig()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "fig7", Title: "Request-reply traffic, oblivious routing"}
+	panels := []struct {
+		title    string
+		traffic  config.TrafficKind
+		alg      routing.Kind
+		loads    []float64
+		variants []Variant
+	}{
+		{"(a) UN with MIN routing", config.TrafficUniform, routing.MIN, DefaultLoads, fig7UniformVariants()},
+		{"(b) BURSTY-UN with MIN routing", config.TrafficBursty, routing.MIN, DefaultLoads, fig7UniformVariants()},
+		{"(c) ADV with VAL routing", config.TrafficAdversarial, routing.VAL, AdversarialLoads, fig7AdversarialVariants()},
+	}
+	for _, p := range panels {
+		variants := make([]Variant, 0, len(p.variants))
+		for _, v := range p.variants {
+			variants = append(variants, withTraffic(v, p.traffic, p.alg, true))
+		}
+		if opts.Quick && len(variants) > 4 {
+			variants = variants[:4]
+		}
+		series, err := LoadSweep(base, variants, opts.loads(p.loads), opts.seeds(), opts.parallelism())
+		if err != nil {
+			return nil, err
+		}
+		rep.Sections = append(rep.Sections, Section{Title: p.title, Body: RenderSeries(p.title, series), Series: series})
+	}
+	return rep, nil
+}
+
+// --- Figure 8: Piggyback adaptive routing ----------------------------------
+
+// pbVariant builds one Piggyback configuration.
+func pbVariant(label string, policy core.Policy, vcs core.VCConfig, sensing routing.Sensing, minCred bool) Variant {
+	return Variant{Label: label, Apply: func(c *config.Config) {
+		c.Routing = routing.PB
+		c.Sensing = sensing
+		c.BufferOrg = buffer.Static
+		c.Scheme = core.Scheme{Policy: policy, VCs: vcs, Selection: core.JSQ, MinCred: minCred}
+	}}
+}
+
+func fig8Variants() []Variant {
+	basePB := twoClass(4, 2, 4, 2) // 8/4 VCs for the baseline PB
+	flexPB := twoClass(4, 2, 2, 1) // 6/3 VCs arranged 4/2+2/1 for FlexVC PB
+	return []Variant{
+		// Oblivious references.
+		Variant{Label: "MIN 4/2 (reference)", Apply: func(c *config.Config) {
+			c.Routing = routing.MIN
+			c.Scheme = core.Scheme{Policy: core.Baseline, VCs: twoClass(2, 1, 2, 1), Selection: core.JSQ}
+		}},
+		Variant{Label: "VAL 8/4 (reference)", Apply: func(c *config.Config) {
+			c.Routing = routing.VAL
+			c.Scheme = core.Scheme{Policy: core.Baseline, VCs: basePB, Selection: core.JSQ}
+		}},
+		pbVariant("PB per-VC (8/4)", core.Baseline, basePB, routing.SensePerVC, false),
+		pbVariant("PB per-port (8/4)", core.Baseline, basePB, routing.SensePerPort, false),
+		pbVariant("PB FlexVC per-VC (6/3)", core.FlexVC, flexPB, routing.SensePerVC, false),
+		pbVariant("PB FlexVC per-port (6/3)", core.FlexVC, flexPB, routing.SensePerPort, false),
+		pbVariant("PB FlexVC per-VC minCred (6/3)", core.FlexVC, flexPB, routing.SensePerVC, true),
+		pbVariant("PB FlexVC per-port minCred (6/3)", core.FlexVC, flexPB, routing.SensePerPort, true),
+	}
+}
+
+func runFig8(opts Options) (*Report, error) {
+	base, err := opts.BaseConfig()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "fig8", Title: "Request-reply traffic with Piggyback source-adaptive routing"}
+	panels := []struct {
+		title   string
+		traffic config.TrafficKind
+		loads   []float64
+	}{
+		{"(a) Uniform (UN)", config.TrafficUniform, DefaultLoads},
+		{"(b) Uniform with bursts (BURSTY-UN)", config.TrafficBursty, DefaultLoads},
+		{"(c) Adversarial (ADV)", config.TrafficAdversarial, AdversarialLoads},
+	}
+	for _, p := range panels {
+		variants := make([]Variant, 0, 8)
+		for _, v := range fig8Variants() {
+			variants = append(variants, withTraffic(v, p.traffic, routing.PB, true))
+		}
+		// withTraffic sets Routing=PB for every variant; re-apply the two
+		// oblivious references on top.
+		if opts.Quick && len(variants) > 5 {
+			variants = append(variants[:2], variants[len(variants)-3:]...)
+		}
+		series, err := LoadSweep(base, variants, opts.loads(p.loads), opts.seeds(), opts.parallelism())
+		if err != nil {
+			return nil, err
+		}
+		rep.Sections = append(rep.Sections, Section{Title: p.title, Body: RenderSeries(p.title, series), Series: series})
+	}
+	rep.Notes = append(rep.Notes,
+		"baseline PB uses 4/2+4/2=8/4 VCs; FlexVC PB uses 4/2+2/1=6/3 VCs (25% fewer buffers)")
+	return rep, nil
+}
+
+// --- Figure 9: VC selection functions at full load -------------------------
+
+func runFig9(opts Options) (*Report, error) {
+	base, err := opts.BaseConfig()
+	if err != nil {
+		return nil, err
+	}
+	base.Traffic = config.TrafficUniform
+	base.Routing = routing.MIN
+	base.Reactive = true
+
+	splits := []struct {
+		label string
+		vcs   core.VCConfig
+	}{
+		{"4/2 (2/1+2/1)", twoClass(2, 1, 2, 1)},
+		{"5/3 (2/1+3/2)", twoClass(2, 1, 3, 2)},
+		{"5/3 (3/2+2/1)", twoClass(3, 2, 2, 1)},
+		{"6/4 (2/1+4/3)", twoClass(2, 1, 4, 3)},
+		{"6/4 (3/2+3/2)", twoClass(3, 2, 3, 2)},
+		{"6/4 (4/3+2/1)", twoClass(4, 3, 2, 1)},
+	}
+	if opts.Quick {
+		splits = splits[:2]
+	}
+	selections := core.SelectionFns
+
+	rep := &Report{ID: "fig9", Title: "Throughput under UN request-reply traffic at 100% load vs VC selection function"}
+	var body strings.Builder
+	fmt.Fprintf(&body, "%-16s", "VC split")
+	fmt.Fprintf(&body, " %10s %10s", "baseline", "damq75")
+	for _, fn := range selections {
+		fmt.Fprintf(&body, " %10s", "flex-"+fn.String())
+	}
+	body.WriteByte('\n')
+	for _, sp := range splits {
+		variants := []Variant{
+			withTraffic(baselineVariant("baseline", sp.vcs), config.TrafficUniform, routing.MIN, true),
+			withTraffic(damqVariant("damq", sp.vcs), config.TrafficUniform, routing.MIN, true),
+		}
+		for _, fn := range selections {
+			fn := fn
+			v := Variant{Label: "flexvc " + fn.String(), Apply: func(c *config.Config) {
+				c.BufferOrg = buffer.Static
+				c.Scheme = core.Scheme{Policy: core.FlexVC, VCs: sp.vcs, Selection: fn}
+			}}
+			variants = append(variants, withTraffic(v, config.TrafficUniform, routing.MIN, true))
+		}
+		series, err := MaxThroughput(base, variants, opts.seeds(), opts.parallelism())
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&body, "%-16s", sp.label)
+		for _, s := range series {
+			fmt.Fprintf(&body, " %10.3f", s.MaxAccepted())
+		}
+		body.WriteByte('\n')
+		rep.Sections = append(rep.Sections, Section{Title: sp.label, Series: series})
+	}
+	rep.Sections = append([]Section{{Title: "throughput at 100% offered load (phits/node/cycle)", Body: body.String()}}, rep.Sections...)
+	return rep, nil
+}
+
+// --- Figure 10: DAMQ private reservation sweep ------------------------------
+
+func runFig10(opts Options) (*Report, error) {
+	base, err := opts.BaseConfig()
+	if err != nil {
+		return nil, err
+	}
+	base.Traffic = config.TrafficUniform
+	base.Routing = routing.MIN
+
+	fractions := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	if opts.Quick {
+		fractions = []float64{0, 0.75, 1.0}
+	}
+	variants := make([]Variant, 0, len(fractions))
+	for _, f := range fractions {
+		f := f
+		label := fmt.Sprintf("DAMQ %d%% private", int(f*100))
+		if f == 1 {
+			label += " (= static)"
+		}
+		variants = append(variants, Variant{Label: label, Apply: func(c *config.Config) {
+			c.BufferOrg = buffer.DAMQ
+			c.DAMQPrivateFraction = f
+			c.Scheme = core.Scheme{Policy: core.Baseline, VCs: single(2, 1), Selection: core.JSQ}
+		}})
+	}
+	series, err := LoadSweep(base, variants, opts.loads(DefaultLoads), opts.seeds(), opts.parallelism())
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "fig10", Title: "Throughput under UN with MIN routing, DAMQ buffers with varying private reservation"}
+	rep.Sections = append(rep.Sections, Section{Title: "accepted load vs offered load", Body: RenderSeries("DAMQ reservation sweep", series), Series: series})
+	rep.Notes = append(rep.Notes,
+		"with 0% private reservation the run is expected to deadlock (flagged *DL*) or collapse at saturation loads",
+		"the best configuration is expected around 75% private, only slightly above fully static buffers")
+	return rep, nil
+}

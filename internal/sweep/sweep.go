@@ -1,0 +1,287 @@
+// Package sweep is the experiment harness of the reproduction: it runs load
+// sweeps and saturation-throughput searches over simulator configurations and
+// regenerates every table and figure of the FlexVC paper's evaluation
+// (Tables I-IV, Figures 5-11) as text reports.
+//
+// Experiments can run at three scales: "small" (the default, a 36-router
+// Dragonfly that finishes in seconds to minutes), "medium" (264 routers) and
+// "paper" (the full 2,064-router system of Table V, hours of CPU time). The
+// shape of the results — which mechanism wins, by roughly what factor, where
+// saturation sets in — is preserved across scales; see EXPERIMENTS.md.
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"flexvc/internal/config"
+	"flexvc/internal/sim"
+	"flexvc/internal/stats"
+)
+
+// Point is the aggregated result of one configuration at one offered load.
+type Point struct {
+	Load   float64
+	Result stats.Result
+}
+
+// Series is one labelled curve of a figure: a configuration swept over load.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// MaxAccepted returns the maximum accepted load over the series (the
+// saturation throughput the paper's bar charts report).
+func (s Series) MaxAccepted() float64 {
+	best := 0.0
+	for _, p := range s.Points {
+		if p.Result.AcceptedLoad > best {
+			best = p.Result.AcceptedLoad
+		}
+	}
+	return best
+}
+
+// AcceptedAt returns the accepted load at the given offered load (or 0 when
+// the point was not simulated).
+func (s Series) AcceptedAt(load float64) float64 {
+	for _, p := range s.Points {
+		if p.Load == load {
+			return p.Result.AcceptedLoad
+		}
+	}
+	return 0
+}
+
+// Options controls how experiments are executed.
+type Options struct {
+	// Scale selects the system size: "small", "medium" or "paper".
+	Scale string
+	// Seeds is the number of independent replications per point (the paper
+	// uses 5).
+	Seeds int
+	// Loads overrides the offered-load sweep points (phits/node/cycle).
+	Loads []float64
+	// Parallelism bounds the number of simulations run concurrently; 0
+	// means one per available point up to a small default.
+	Parallelism int
+	// Quick trims the sweep to fewer points and shorter measurement windows
+	// for smoke runs and benchmarks.
+	Quick bool
+}
+
+// DefaultOptions returns the options used by the command-line harness.
+func DefaultOptions() Options {
+	return Options{Scale: "small", Seeds: 1, Parallelism: 4}
+}
+
+// BaseConfig returns the simulator configuration for the chosen scale.
+func (o Options) BaseConfig() (config.Config, error) {
+	var cfg config.Config
+	switch o.Scale {
+	case "", "small":
+		cfg = config.Small()
+	case "medium":
+		cfg = config.Medium()
+	case "paper", "full":
+		cfg = config.Paper()
+	default:
+		return config.Config{}, fmt.Errorf("sweep: unknown scale %q (want small, medium or paper)", o.Scale)
+	}
+	if o.Quick {
+		cfg.WarmupCycles /= 2
+		cfg.MeasureCycles /= 2
+	}
+	return cfg, nil
+}
+
+// loads returns the offered-load sweep points.
+func (o Options) loads(defaults []float64) []float64 {
+	if len(o.Loads) > 0 {
+		return o.Loads
+	}
+	if o.Quick && len(defaults) > 3 {
+		return []float64{defaults[0], defaults[len(defaults)/2], defaults[len(defaults)-1]}
+	}
+	return defaults
+}
+
+func (o Options) seeds() int {
+	if o.Seeds < 1 {
+		return 1
+	}
+	return o.Seeds
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism < 1 {
+		return 4
+	}
+	return o.Parallelism
+}
+
+// Variant names one configuration of an experiment and how to derive it from
+// the base configuration.
+type Variant struct {
+	Label string
+	Apply func(*config.Config)
+}
+
+// job is one (variant, load) simulation to run.
+type job struct {
+	series int
+	point  int
+	cfg    config.Config
+	seeds  int
+}
+
+// LoadSweep runs every variant across the given offered loads, with the
+// requested number of replications per point, in parallel across points.
+func LoadSweep(base config.Config, variants []Variant, loads []float64, seeds, parallelism int) ([]Series, error) {
+	series := make([]Series, len(variants))
+	jobs := make([]job, 0, len(variants)*len(loads))
+	for si, v := range variants {
+		series[si].Label = v.Label
+		series[si].Points = make([]Point, len(loads))
+		for pi, load := range loads {
+			cfg := base
+			v.Apply(&cfg)
+			cfg.Load = load
+			if err := cfg.Validate(); err != nil {
+				return nil, fmt.Errorf("sweep: variant %q at load %.2f: %w", v.Label, load, err)
+			}
+			series[si].Points[pi].Load = load
+			jobs = append(jobs, job{series: si, point: pi, cfg: cfg, seeds: seeds})
+		}
+	}
+
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for ji := range jobs {
+		wg.Add(1)
+		go func(ji int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			j := jobs[ji]
+			agg, _, err := sim.RunAveraged(j.cfg, j.seeds)
+			if err != nil {
+				errs[ji] = err
+				return
+			}
+			series[j.series].Points[j.point].Result = agg
+		}(ji)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return series, nil
+}
+
+// MaxThroughput runs every variant at full offered load and returns the
+// accepted throughput per variant (the paper's Figures 6 and 11).
+func MaxThroughput(base config.Config, variants []Variant, seeds, parallelism int) ([]Series, error) {
+	return LoadSweep(base, variants, []float64{1.0}, seeds, parallelism)
+}
+
+// DefaultLoads is the standard offered-load sweep of the latency/throughput
+// figures.
+var DefaultLoads = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// AdversarialLoads is the reduced sweep used for adversarial traffic, whose
+// saturation point sits below 0.5.
+var AdversarialLoads = []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5}
+
+// RenderSeries renders a set of series as a fixed-width text table with one
+// row per offered load and, per series, the accepted load and average latency.
+func RenderSeries(title string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(series) == 0 {
+		return b.String()
+	}
+	// Collect the union of loads, sorted.
+	loadSet := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			loadSet[p.Load] = true
+		}
+	}
+	loads := make([]float64, 0, len(loadSet))
+	for l := range loadSet {
+		loads = append(loads, l)
+	}
+	sort.Float64s(loads)
+
+	fmt.Fprintf(&b, "%-8s", "offered")
+	for _, s := range series {
+		fmt.Fprintf(&b, " | %-28s", truncate(s.Label, 28))
+	}
+	fmt.Fprintf(&b, "\n%-8s", "")
+	for range series {
+		fmt.Fprintf(&b, " | %13s %14s", "accepted", "avg-lat")
+	}
+	b.WriteByte('\n')
+	for _, load := range loads {
+		fmt.Fprintf(&b, "%-8.2f", load)
+		for _, s := range series {
+			found := false
+			for _, p := range s.Points {
+				if p.Load == load {
+					state := ""
+					if p.Result.Deadlock {
+						state = "*DL*"
+					}
+					fmt.Fprintf(&b, " | %9.3f%4s %14.1f", p.Result.AcceptedLoad, state, p.Result.AvgLatency)
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(&b, " | %13s %14s", "-", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderMaxThroughput renders saturation-throughput bars (one value per
+// series) with the relative improvement over the first series, mirroring the
+// layout of Figures 6 and 11.
+func RenderMaxThroughput(title string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	var baseline float64
+	for i, s := range series {
+		v := s.MaxAccepted()
+		if i == 0 {
+			baseline = v
+		}
+		rel := 1.0
+		if baseline > 0 {
+			rel = v / baseline
+		}
+		flag := ""
+		if len(s.Points) > 0 && s.Points[len(s.Points)-1].Result.Deadlock {
+			flag = " (deadlock)"
+		}
+		fmt.Fprintf(&b, "  %-34s %6.3f phits/node/cycle  %+6.1f%% vs %s%s\n",
+			truncate(s.Label, 34), v, 100*(rel-1), series[0].Label, flag)
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,112 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"flexvc/internal/config"
+	"flexvc/internal/core"
+)
+
+func TestRegistryCoversEveryPaperArtefact(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3", "table4",
+		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+	}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
+	}
+	for _, id := range want {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Error("IDs() incomplete")
+	}
+	if _, err := Run("nope", DefaultOptions()); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestTableExperiments(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3", "table4"} {
+		rep, err := Run(id, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		text := rep.Render()
+		if !strings.Contains(text, "MIN") || !strings.Contains(text, "VAL") {
+			t.Errorf("%s report looks empty:\n%s", id, text)
+		}
+	}
+}
+
+func TestOptionsBaseConfig(t *testing.T) {
+	for _, scale := range []string{"small", "medium", "paper", ""} {
+		opts := Options{Scale: scale}
+		cfg, err := opts.BaseConfig()
+		if err != nil {
+			t.Errorf("scale %q: %v", scale, err)
+			continue
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("scale %q produces invalid config: %v", scale, err)
+		}
+	}
+	if _, err := (Options{Scale: "bogus"}).BaseConfig(); err == nil {
+		t.Error("unknown scale should fail")
+	}
+	quick := Options{Quick: true}
+	if got := quick.loads(DefaultLoads); len(got) != 3 {
+		t.Errorf("quick load trimming broken: %v", got)
+	}
+	full := Options{Loads: []float64{0.5}}
+	if got := full.loads(DefaultLoads); len(got) != 1 || got[0] != 0.5 {
+		t.Errorf("load override broken: %v", got)
+	}
+}
+
+// TestLoadSweepTiny runs a minimal sweep end to end on the tiny system.
+func TestLoadSweepTiny(t *testing.T) {
+	base := config.Tiny()
+	base.WarmupCycles = 300
+	base.MeasureCycles = 800
+	variants := []Variant{
+		{Label: "baseline", Apply: func(c *config.Config) {}},
+		{Label: "flexvc", Apply: func(c *config.Config) { c.Scheme.Policy = core.FlexVC }},
+	}
+	series, err := LoadSweep(base, variants, []float64{0.2, 0.6}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || len(series[0].Points) != 2 {
+		t.Fatalf("unexpected series shape: %+v", series)
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Result.DeliveredPackets == 0 {
+				t.Errorf("%s at load %.1f delivered nothing", s.Label, p.Load)
+			}
+		}
+		if s.MaxAccepted() <= 0 || s.AcceptedAt(0.2) <= 0 {
+			t.Errorf("%s accessors broken", s.Label)
+		}
+	}
+	if out := RenderSeries("test", series); !strings.Contains(out, "baseline") {
+		t.Error("series rendering broken")
+	}
+	if out := RenderMaxThroughput("test", series); !strings.Contains(out, "flexvc") {
+		t.Error("max-throughput rendering broken")
+	}
+}
+
+// TestLoadSweepRejectsInvalidVariant checks error propagation.
+func TestLoadSweepRejectsInvalidVariant(t *testing.T) {
+	base := config.Tiny()
+	bad := []Variant{{Label: "broken", Apply: func(c *config.Config) { c.PacketSize = 0 }}}
+	if _, err := LoadSweep(base, bad, []float64{0.5}, 1, 1); err == nil {
+		t.Error("invalid variant should surface an error")
+	}
+}

@@ -1,0 +1,129 @@
+package topology
+
+import (
+	"fmt"
+
+	"flexvc/internal/packet"
+)
+
+// validate performs structural sanity checks shared by all topologies.
+func validate(t Topology) error {
+	if t.NumRouters() <= 0 || t.NumNodes() <= 0 {
+		return fmt.Errorf("%s: empty topology", t.Name())
+	}
+	if t.NumNodes() != t.NumRouters()*t.NodesPerRouter() {
+		return fmt.Errorf("%s: node count %d does not match routers(%d) x nodes/router(%d)",
+			t.Name(), t.NumNodes(), t.NumRouters(), t.NodesPerRouter())
+	}
+	if err := validateTerminals(t); err != nil {
+		return err
+	}
+	if err := validateLinks(t); err != nil {
+		return err
+	}
+	return validateMinimalRouting(t)
+}
+
+// validateTerminals checks the node <-> router <-> terminal-port mapping.
+func validateTerminals(t Topology) error {
+	for r := 0; r < t.NumRouters(); r++ {
+		rid := packet.RouterID(r)
+		for i := 0; i < t.NodesPerRouter(); i++ {
+			n := t.NodeAt(rid, i)
+			if int(n) < 0 || int(n) >= t.NumNodes() {
+				return fmt.Errorf("%s: router %d node slot %d maps to out-of-range node %d", t.Name(), r, i, n)
+			}
+			if t.RouterOfNode(n) != rid {
+				return fmt.Errorf("%s: node %d maps back to router %d, expected %d", t.Name(), n, t.RouterOfNode(n), rid)
+			}
+			p := t.TerminalPort(rid, n)
+			if p < 0 || p >= t.Radix() || t.PortKind(rid, p) != Terminal {
+				return fmt.Errorf("%s: node %d terminal port %d of router %d is not a terminal port", t.Name(), n, p, r)
+			}
+		}
+	}
+	return nil
+}
+
+// validateLinks checks that every non-terminal link is symmetric.
+func validateLinks(t Topology) error {
+	for r := 0; r < t.NumRouters(); r++ {
+		rid := packet.RouterID(r)
+		for p := 0; p < t.Radix(); p++ {
+			if t.PortKind(rid, p) == Terminal {
+				continue
+			}
+			nr, np := t.Neighbor(rid, p)
+			if int(nr) < 0 || int(nr) >= t.NumRouters() {
+				return fmt.Errorf("%s: router %d port %d connects to out-of-range router %d", t.Name(), r, p, nr)
+			}
+			if nr == rid {
+				return fmt.Errorf("%s: router %d port %d is a self-loop", t.Name(), r, p)
+			}
+			if np < 0 || np >= t.Radix() || t.PortKind(nr, np) == Terminal {
+				return fmt.Errorf("%s: router %d port %d arrives at invalid port %d of router %d", t.Name(), r, p, np, nr)
+			}
+			br, bp := t.Neighbor(nr, np)
+			if br != rid || bp != p {
+				return fmt.Errorf("%s: link asymmetry: %d:%d -> %d:%d -> %d:%d", t.Name(), r, p, nr, np, br, bp)
+			}
+			if t.PortKind(rid, p) != t.PortKind(nr, np) {
+				return fmt.Errorf("%s: link kind mismatch between %d:%d (%s) and %d:%d (%s)",
+					t.Name(), r, p, t.PortKind(rid, p), nr, np, t.PortKind(nr, np))
+			}
+		}
+	}
+	return nil
+}
+
+// validateMinimalRouting follows NextMinimalPort from every router toward a
+// sample of destinations and checks that it converges within the diameter,
+// with hop counts consistent with MinimalHops.
+func validateMinimalRouting(t Topology) error {
+	diam := t.Diameter().Total()
+	n := t.NumRouters()
+	// For large networks, sample destinations to keep validation cheap.
+	step := 1
+	if n > 64 {
+		step = n / 64
+	}
+	for src := 0; src < n; src += step {
+		for dst := 0; dst < n; dst += step {
+			if err := checkMinimalPath(t, packet.RouterID(src), packet.RouterID(dst), diam); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func checkMinimalPath(t Topology, src, dst packet.RouterID, diam int) error {
+	want := t.MinimalHops(src, dst)
+	cur := src
+	var got HopCount
+	for steps := 0; cur != dst; steps++ {
+		if steps > diam {
+			return fmt.Errorf("%s: minimal route %d->%d did not converge within diameter %d", t.Name(), src, dst, diam)
+		}
+		p := t.NextMinimalPort(cur, dst)
+		if p < 0 {
+			return fmt.Errorf("%s: NextMinimalPort(%d,%d) returned -1 before reaching destination", t.Name(), cur, dst)
+		}
+		switch t.PortKind(cur, p) {
+		case Local:
+			got.Local++
+		case Global:
+			got.Global++
+		default:
+			return fmt.Errorf("%s: minimal route %d->%d selected terminal port %d", t.Name(), src, dst, p)
+		}
+		cur, _ = t.Neighbor(cur, p)
+	}
+	if got != want {
+		return fmt.Errorf("%s: minimal route %d->%d took %+v hops, MinimalHops reports %+v", t.Name(), src, dst, got, want)
+	}
+	if got.Total() > diam {
+		return fmt.Errorf("%s: minimal route %d->%d longer than diameter", t.Name(), src, dst)
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+// Package traffic implements the synthetic traffic patterns of the FlexVC
+// evaluation: uniform random (UN), adversarial (ADV, destination in the next
+// group) and bursty uniform (BURSTY-UN, a two-state Markov ON/OFF source),
+// plus the reactive request-reply variants in which destinations answer every
+// request with a reply to its source.
+//
+// Generators are deterministic given their seed: every node owns an
+// independent PRNG stream so results are reproducible and independent of the
+// iteration order of the simulator.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flexvc/internal/packet"
+	"flexvc/internal/topology"
+)
+
+// Generator produces the packets a node offers to the network.
+type Generator interface {
+	// Name identifies the pattern.
+	Name() string
+	// Generate is called once per node per cycle and returns a freshly
+	// generated packet or nil. The returned packet has its Src, Dst, Size,
+	// Class and GenTime fields filled in.
+	Generate(now int64, node packet.NodeID) *packet.Packet
+	// Delivered notifies the generator that a packet reached its
+	// destination (reactive patterns respond by scheduling a reply).
+	Delivered(now int64, pkt *packet.Packet)
+	// PendingReplies returns packets the destination nodes owe to the
+	// network for the given node (reply traffic); the simulator drains this
+	// queue with priority over new requests. It returns nil when empty.
+	PendingReplies(node packet.NodeID) *packet.Packet
+}
+
+// Params collects what every generator needs.
+type Params struct {
+	// Topo is the simulated topology (destination selection needs group
+	// structure for adversarial traffic).
+	Topo topology.Topology
+	// Load is the offered load in phits/node/cycle.
+	Load float64
+	// PacketSize is the packet size in phits.
+	PacketSize int
+	// Seed seeds the per-node PRNG streams.
+	Seed int64
+	// AvgBurstLength is the mean burst length in packets (BURSTY-UN only).
+	AvgBurstLength float64
+}
+
+// packetRate returns the per-cycle packet generation probability that yields
+// the requested load.
+func (p Params) packetRate() float64 {
+	if p.PacketSize <= 0 {
+		return 0
+	}
+	r := p.Load / float64(p.PacketSize)
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// nodeRNG builds a deterministic PRNG for one node.
+func nodeRNG(seed int64, node packet.NodeID) *rand.Rand {
+	// SplitMix-style seed scrambling keeps neighbouring node streams
+	// decorrelated.
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(node)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// idAllocator hands out unique packet IDs.
+type idAllocator struct{ next uint64 }
+
+func (a *idAllocator) alloc() uint64 {
+	a.next++
+	return a.next
+}
+
+// destinationFn picks the destination for a new packet from a node.
+type destinationFn func(rng *rand.Rand, src packet.NodeID) packet.NodeID
+
+// uniformDestination draws any node except the source.
+func uniformDestination(topo topology.Topology) destinationFn {
+	n := topo.NumNodes()
+	return func(rng *rand.Rand, src packet.NodeID) packet.NodeID {
+		d := packet.NodeID(rng.Intn(n - 1))
+		if d >= src {
+			d++
+		}
+		return d
+	}
+}
+
+// adversarialDestination draws a random node of the following group (ADV+1).
+// On flat topologies (a single group) it degenerates to a fixed offset
+// pattern that similarly concentrates load.
+func adversarialDestination(topo topology.Topology) destinationFn {
+	n := topo.NumNodes()
+	groups := topo.NumGroups()
+	if groups <= 1 {
+		// Flat diameter-2 network: send to the "next router" so all traffic
+		// from a router shares one link, the analogous worst case.
+		perRouter := topo.NodesPerRouter()
+		return func(rng *rand.Rand, src packet.NodeID) packet.NodeID {
+			srcRouter := topo.RouterOfNode(src)
+			dstRouter := (int(srcRouter) + 1) % topo.NumRouters()
+			return topo.NodeAt(packet.RouterID(dstRouter), rng.Intn(perRouter))
+		}
+	}
+	nodesPerGroup := n / groups
+	return func(rng *rand.Rand, src packet.NodeID) packet.NodeID {
+		srcGroup := topo.GroupOf(topo.RouterOfNode(src))
+		dstGroup := (srcGroup + 1) % groups
+		return packet.NodeID(dstGroup*nodesPerGroup + rng.Intn(nodesPerGroup))
+	}
+}
+
+// fillEndpoints completes the router fields of a packet.
+func fillEndpoints(topo topology.Topology, p *packet.Packet) {
+	p.SrcRouter = topo.RouterOfNode(p.Src)
+	p.DstRouter = topo.RouterOfNode(p.Dst)
+}
+
+// Kind names the implemented patterns.
+const (
+	NameUniform     = "uniform"
+	NameAdversarial = "adversarial"
+	NameBursty      = "bursty-uniform"
+)
+
+// New builds the generator named by pattern ("uniform", "adversarial",
+// "bursty-uniform"), optionally wrapped for reactive request-reply traffic.
+func New(pattern string, params Params, reactive bool) (Generator, error) {
+	var g Generator
+	switch pattern {
+	case NameUniform, "un":
+		g = NewBernoulli(NameUniform, params, uniformDestination(params.Topo))
+	case NameAdversarial, "adv":
+		g = NewBernoulli(NameAdversarial, params, adversarialDestination(params.Topo))
+	case NameBursty, "bursty-un", "bursty":
+		g = NewBursty(params)
+	default:
+		return nil, fmt.Errorf("traffic: unknown pattern %q", pattern)
+	}
+	if reactive {
+		g = NewReactive(g, params)
+	}
+	return g, nil
+}
