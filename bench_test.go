@@ -318,3 +318,75 @@ func BenchmarkQuickTableExperiment(b *testing.B) {
 		}
 	}
 }
+
+// --- End-to-end sweep benchmarks ---------------------------------------------
+//
+// These exercise the whole harness stack (sweep scheduler -> RunAveraged ->
+// simulator) and are the headline numbers tracked in BENCHMARKS.md.
+
+// quickSweepBase is the configuration behind the end-to-end sweep benchmarks:
+// the Small Dragonfly with a shortened window, three variants and three loads
+// with several replications each, so both the point scheduler and the
+// replication engine are exercised.
+func quickSweepBase() (config.Config, []sweep.Variant, []float64, int) {
+	cfg := config.Small()
+	cfg.WarmupCycles = 400
+	cfg.MeasureCycles = 1600
+	cfg.DeadlockCycles = 4000
+	variants := []sweep.Variant{
+		{Label: "baseline 2/1", Apply: func(c *config.Config) {
+			c.Scheme = core.Scheme{Policy: core.Baseline, VCs: core.SingleClass(2, 1), Selection: core.JSQ}
+		}},
+		{Label: "flexvc 4/2", Apply: func(c *config.Config) {
+			c.Scheme = core.Scheme{Policy: core.FlexVC, VCs: core.SingleClass(4, 2), Selection: core.JSQ}
+		}},
+		{Label: "flexvc 8/4", Apply: func(c *config.Config) {
+			c.Scheme = core.Scheme{Policy: core.FlexVC, VCs: core.SingleClass(8, 4), Selection: core.JSQ}
+		}},
+	}
+	loads := []float64{0.2, 0.6, 1.0}
+	seeds := 3
+	return cfg, variants, loads, seeds
+}
+
+// BenchmarkSweepQuickE2E runs a complete small load sweep per iteration:
+// 3 variants x 3 loads x 3 replications = 27 simulations. This is the
+// benchmark the >=2x wall-clock target of the parallel engine is measured on.
+func BenchmarkSweepQuickE2E(b *testing.B) {
+	base, variants, loads, seeds := quickSweepBase()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series, err := sweep.LoadSweep(base, variants, loads, seeds, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			if s.MaxAccepted() == 0 {
+				b.Fatalf("series %q moved no traffic", s.Label)
+			}
+		}
+	}
+}
+
+// BenchmarkSmokeSweep is the CI smoke benchmark (go test -bench=Smoke
+// -benchtime=1x): one tiny sweep end to end, cheap enough for every push.
+func BenchmarkSmokeSweep(b *testing.B) {
+	base := config.Tiny()
+	base.WarmupCycles = 200
+	base.MeasureCycles = 800
+	variants := []sweep.Variant{
+		{Label: "baseline", Apply: func(c *config.Config) {}},
+		{Label: "flexvc", Apply: func(c *config.Config) { c.Scheme.Policy = core.FlexVC }},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		series, err := sweep.LoadSweep(base, variants, []float64{0.3, 0.7}, 2, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) != 2 {
+			b.Fatalf("want 2 series, got %d", len(series))
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"flexvc/internal/sim"
 	"flexvc/internal/sweep"
 )
 
@@ -33,7 +34,8 @@ func run(args []string) error {
 		exp      = fs.String("exp", "", "experiment to run (table1..table4, fig5..fig11, or 'all')")
 		scale    = fs.String("scale", "small", "system scale: small, medium or paper")
 		seeds    = fs.Int("seeds", 1, "independent replications per point (the paper uses 5)")
-		parallel = fs.Int("parallel", 4, "simulations to run concurrently")
+		parallel = fs.Int("parallel", 0, "cap on sweep points in flight (0 = unbounded; a memory guard)")
+		workers  = fs.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
 		quick    = fs.Bool("quick", false, "trim sweeps for a fast smoke run")
 		out      = fs.String("out", "", "directory to write one report file per experiment (default: stdout)")
 	)
@@ -52,6 +54,9 @@ func run(args []string) error {
 		return fmt.Errorf("missing -exp (use -list to see the available experiments)")
 	}
 
+	if *workers > 0 {
+		sim.SetWorkerBudget(*workers)
+	}
 	opts := sweep.Options{Scale: *scale, Seeds: *seeds, Parallelism: *parallel, Quick: *quick}
 	ids := []string{*exp}
 	if *exp == "all" {

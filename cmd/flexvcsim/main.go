@@ -51,6 +51,7 @@ func run(args []string) error {
 		seeds    = fs.Int("seeds", 1, "number of independent replications to average")
 		speedup  = fs.Int("speedup", 0, "router speedup override (0 keeps the scale default)")
 		seed     = fs.Int64("seed", 1, "base random seed")
+		workers  = fs.Int("workers", 0, "concurrent replication workers (0 = GOMAXPROCS)")
 		verbose  = fs.Bool("v", false, "print per-replication results")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -91,6 +92,9 @@ func run(args []string) error {
 		return err
 	}
 
+	if *workers > 0 {
+		sim.SetWorkerBudget(*workers)
+	}
 	fmt.Println("configuration:", cfg.Describe())
 	agg, runs, err := sim.RunAveraged(cfg, *seeds)
 	if err != nil {

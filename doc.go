@@ -10,6 +10,31 @@
 // internal/traffic) and an experiment harness that regenerates every table
 // and figure of the evaluation section (internal/sweep, cmd/figures).
 //
+// # Execution model
+//
+// The simulator core is single-threaded per replication: one Network owns
+// its topology, routers, PRNG streams and packet free-list, and is stepped
+// cycle by cycle. Parallelism lives one level up: sim.RunAveraged runs
+// replications concurrently and sweep.LoadSweep schedules every point of
+// every series at once, with all work draining through one process-wide
+// worker budget (sim.SetWorkerBudget, default GOMAXPROCS). Because each
+// replication is fully self-contained and results are aggregated in
+// replication order, parallel results are bit-identical to sequential runs.
+//
+// The per-cycle hot path avoids both scans and steady-state allocation:
+// routers holding no packets are skipped (active-router list), injection
+// arbitration only visits nodes with queued NIC work (pending-node queue),
+// buffer FIFOs are rings, packets are recycled through a per-network
+// free-list, and the allocator caches the routing-stable part of each head
+// packet's request (output port, allowed VC range, escape fallback) so only
+// occupancy checks are re-evaluated every cycle. BENCHMARKS.md records the
+// per-layer and end-to-end numbers and how to reproduce them.
+//
+// Experiments run at three scales — "small" (36-router Dragonfly, seconds),
+// "medium" (264 routers) and "paper" (the full 2,064-router system of
+// Table V, hours) — selected via sweep.Options.Scale or the -scale flag of
+// cmd/figures and cmd/flexvcsim.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-versus-measured results. The benchmarks in
 // bench_test.go exercise one experiment per paper table/figure plus the

@@ -1,0 +1,3 @@
+module flexvc
+
+go 1.24

@@ -134,7 +134,7 @@ type vcState struct {
 	// routed packets (FlexVC-minCred accounting).
 	minCommitted int
 	// queue holds resident packets in FIFO order.
-	queue []entry
+	queue ring[entry]
 }
 
 // InputBuffer models one input port: NumVCs virtual channels over a static or
@@ -240,18 +240,20 @@ func (b *InputBuffer) ReleaseCredit(vc, size int, kind packet.RouteKind) {
 // reserved with the given routing kind; ready is the cycle at which the
 // packet becomes visible to the allocator.
 func (b *InputBuffer) Enqueue(vc int, pkt *packet.Packet, ready int64, kind packet.RouteKind) {
-	s := &b.vcs[vc]
-	s.queue = append(s.queue, entry{pkt: pkt, ready: ready, kind: kind})
+	b.vcs[vc].queue.push(entry{pkt: pkt, ready: ready, kind: kind})
 }
 
 // Head returns the head packet of the given VC if it is ready at the given
 // cycle, or nil.
 func (b *InputBuffer) Head(vc int, now int64) *packet.Packet {
 	s := &b.vcs[vc]
-	if len(s.queue) == 0 || s.queue[0].ready > now {
+	if s.queue.len() == 0 {
 		return nil
 	}
-	return s.queue[0].pkt
+	if e := s.queue.front(); e.ready <= now {
+		return e.pkt
+	}
+	return nil
 }
 
 // Dequeue removes and returns the head packet of the given VC together with
@@ -259,11 +261,10 @@ func (b *InputBuffer) Head(vc int, now int64) *packet.Packet {
 // occupied is only returned through ReleaseCredit (with that same kind).
 func (b *InputBuffer) Dequeue(vc int) (*packet.Packet, packet.RouteKind) {
 	s := &b.vcs[vc]
-	if len(s.queue) == 0 {
+	if s.queue.len() == 0 {
 		panic(fmt.Sprintf("buffer: dequeue from empty VC %d", vc))
 	}
-	e := s.queue[0]
-	s.queue = s.queue[1:]
+	e := s.queue.pop()
 	return e.pkt, e.kind
 }
 
@@ -280,7 +281,7 @@ func (b *InputBuffer) CapacityFor(vc int) int {
 func (b *InputBuffer) TotalCapacity() int { return b.cfg.TotalCapacity() }
 
 // QueueLen returns the number of resident packets in a VC.
-func (b *InputBuffer) QueueLen(vc int) int { return len(b.vcs[vc].queue) }
+func (b *InputBuffer) QueueLen(vc int) int { return b.vcs[vc].queue.len() }
 
 // CommittedOf returns the committed phits of one VC (what an upstream credit
 // counter reports as occupied).
@@ -315,7 +316,7 @@ func (b *InputBuffer) PeakCommitted() int { return b.peakCommitted }
 // Empty reports whether no packets are resident and no space is committed.
 func (b *InputBuffer) Empty() bool {
 	for i := range b.vcs {
-		if len(b.vcs[i].queue) > 0 || b.vcs[i].committed > 0 {
+		if b.vcs[i].queue.len() > 0 || b.vcs[i].committed > 0 {
 			return false
 		}
 	}
@@ -327,7 +328,7 @@ func (b *InputBuffer) Empty() bool {
 func (b *InputBuffer) ResidentPackets() int {
 	n := 0
 	for i := range b.vcs {
-		n += len(b.vcs[i].queue)
+		n += b.vcs[i].queue.len()
 	}
 	return n
 }

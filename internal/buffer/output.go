@@ -23,7 +23,7 @@ type outEntry struct {
 type OutputBuffer struct {
 	capacity  int // phits
 	committed int
-	queue     []outEntry
+	queue     ring[outEntry]
 	peak      int
 }
 
@@ -54,33 +54,35 @@ func (o *OutputBuffer) Push(pkt *packet.Packet, destVC int, kind packet.RouteKin
 	if o.committed > o.peak {
 		o.peak = o.committed
 	}
-	o.queue = append(o.queue, outEntry{pkt: pkt, destVC: destVC, kind: kind, ready: ready})
+	o.queue.push(outEntry{pkt: pkt, destVC: destVC, kind: kind, ready: ready})
 }
 
 // Head returns the head packet, its assigned downstream VC and routing kind,
 // if it is ready at the given cycle. It returns nil when the buffer is empty
 // or the head is not ready yet.
 func (o *OutputBuffer) Head(now int64) (*packet.Packet, int, packet.RouteKind) {
-	if len(o.queue) == 0 || o.queue[0].ready > now {
+	if o.queue.len() == 0 {
 		return nil, -1, packet.Minimal
 	}
-	e := o.queue[0]
+	e := o.queue.front()
+	if e.ready > now {
+		return nil, -1, packet.Minimal
+	}
 	return e.pkt, e.destVC, e.kind
 }
 
 // Pop removes the head packet and frees its space.
 func (o *OutputBuffer) Pop() *packet.Packet {
-	if len(o.queue) == 0 {
+	if o.queue.len() == 0 {
 		panic("buffer: pop from empty output buffer")
 	}
-	e := o.queue[0]
-	o.queue = o.queue[1:]
+	e := o.queue.pop()
 	o.committed -= e.pkt.Size
 	return e.pkt
 }
 
 // Len returns the number of staged packets.
-func (o *OutputBuffer) Len() int { return len(o.queue) }
+func (o *OutputBuffer) Len() int { return o.queue.len() }
 
 // Committed returns the occupied space in phits.
 func (o *OutputBuffer) Committed() int { return o.committed }

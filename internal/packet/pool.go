@@ -1,0 +1,56 @@
+package packet
+
+// Pool is a free-list of packets owned by one simulated network. A cycle-level
+// run at saturation creates and destroys millions of short-lived packets;
+// recycling them through a free-list removes the dominant steady-state
+// allocation of the simulator. A Pool is NOT safe for concurrent use — each
+// network instance (one replication) owns exactly one and runs on a single
+// goroutine.
+//
+// A nil *Pool is valid and falls back to plain allocation, so components that
+// may run without a simulator (tests, stand-alone generators) need no special
+// casing.
+type Pool struct {
+	free []*Packet
+	// news and reuses count allocations and recycled packets, for tests and
+	// capacity diagnostics.
+	news, reuses int64
+}
+
+// Get returns an initialised packet, reusing a recycled one when available.
+// It is the pooled equivalent of New.
+func (p *Pool) Get(id uint64, src, dst NodeID, size int, class Class, genTime int64) *Packet {
+	if p == nil || len(p.free) == 0 {
+		if p != nil {
+			p.news++
+		}
+		return New(id, src, dst, size, class, genTime)
+	}
+	n := len(p.free) - 1
+	pkt := p.free[n]
+	p.free[n] = nil
+	p.free = p.free[:n]
+	p.reuses++
+	*pkt = Packet{ID: id, Src: src, Dst: dst, Size: size, Class: class, GenTime: genTime}
+	pkt.Route.Reset()
+	return pkt
+}
+
+// Put recycles a packet the simulator has finished with. The caller must
+// guarantee no live reference remains (the packet has been delivered and any
+// retaining reply has been delivered too).
+func (p *Pool) Put(pkt *Packet) {
+	if p == nil || pkt == nil {
+		return
+	}
+	pkt.ReplyTo = nil
+	p.free = append(p.free, pkt)
+}
+
+// Stats reports (allocated, reused) counts since the pool was created.
+func (p *Pool) Stats() (news, reuses int64) {
+	if p == nil {
+		return 0, 0
+	}
+	return p.news, p.reuses
+}

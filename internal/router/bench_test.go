@@ -1,0 +1,112 @@
+package router
+
+import (
+	"testing"
+
+	"flexvc/internal/buffer"
+	"flexvc/internal/core"
+	"flexvc/internal/packet"
+	"flexvc/internal/routing"
+	"flexvc/internal/topology"
+)
+
+// benchEnv is an environment with infinite downstream capacity: arrivals and
+// credits are resolved immediately, so the router under benchmark never
+// blocks on flow control and every Step measures real allocation work.
+type benchEnv struct {
+	downstream []*buffer.InputBuffer // by output port, nil for terminal
+}
+
+func (e *benchEnv) DownstreamInput(r packet.RouterID, port int) *buffer.InputBuffer {
+	return e.downstream[port]
+}
+
+func (e *benchEnv) ScheduleArrival(delay int64, to packet.RouterID, port, vc int, pkt *packet.Packet, kind packet.RouteKind) {
+}
+
+func (e *benchEnv) ScheduleCredit(delay int64, buf *buffer.InputBuffer, vc, size int, kind packet.RouteKind) {
+	buf.ReleaseCredit(vc, size, kind)
+}
+
+func (e *benchEnv) ScheduleDelivery(delay int64, pkt *packet.Packet) {}
+
+func buildBenchRouter(b *testing.B) (*Router, *benchEnv, *topology.Dragonfly) {
+	b.Helper()
+	topo, err := topology.NewDragonfly(2, 4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme := core.Scheme{Policy: core.FlexVC, VCs: core.SingleClass(4, 2), Selection: core.JSQ}
+	rt, err := New(0, topo, scheme, routing.NewMinimal(topo), testParams(1), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := &benchEnv{downstream: make([]*buffer.InputBuffer, topo.Radix())}
+	for p := 0; p < topo.Radix(); p++ {
+		kind := topo.PortKind(0, p)
+		if kind == topology.Terminal {
+			continue
+		}
+		env.downstream[p] = buffer.NewInputBuffer(buffer.StaticConfig(scheme.VCs.TotalOf(kind), 1<<20))
+	}
+	rt.SetEnv(env)
+	return rt, env, topo
+}
+
+// drainDownstream releases every committed phit of the synthetic downstream
+// buffers so the router never stalls on credits between refills.
+func drainDownstream(env *benchEnv) {
+	for _, d := range env.downstream {
+		if d == nil {
+			continue
+		}
+		for vc := 0; vc < d.NumVCs(); vc++ {
+			if c := d.CommittedOf(vc); c > 0 {
+				d.ReleaseCredit(vc, c, packet.Minimal)
+			}
+		}
+	}
+}
+
+// BenchmarkRouterStepBusy measures Router.Step with traffic flowing: the
+// injection VCs are topped up with forwardable packets whenever they drain.
+func BenchmarkRouterStepBusy(b *testing.B) {
+	rt, env, topo := buildBenchRouter(b)
+	dst := topo.NodeAt(topo.RouterInGroup(1, 0), 0)
+	refill := func(now int64) {
+		inj := rt.Input(0)
+		for vc := 0; vc < inj.NumVCs(); vc++ {
+			for inj.FreeFor(vc) >= 8 && inj.QueueLen(vc) < 4 {
+				pkt := packet.New(1, topo.NodeAt(0, 0), dst, 8, packet.Request, now)
+				pkt.SrcRouter = 0
+				pkt.DstRouter = topo.RouterOfNode(dst)
+				inj.Reserve(vc, pkt.Size, packet.Minimal)
+				inj.Enqueue(vc, pkt, now, packet.Minimal)
+			}
+		}
+	}
+	refill(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := int64(i)
+		rt.Step(now)
+		if rt.ResidentPackets() == 0 {
+			b.StopTimer()
+			drainDownstream(env)
+			refill(now)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkRouterStepIdle measures Step on a router with no resident packets:
+// the pure scan overhead the simulator pays for every idle router each cycle.
+func BenchmarkRouterStepIdle(b *testing.B) {
+	rt, _, _ := buildBenchRouter(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Step(int64(i))
+	}
+}

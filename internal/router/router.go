@@ -120,6 +120,33 @@ type Router struct {
 	outRR  []int // round-robin pointer over input ports, per output resource
 	alloc  allocState
 
+	// pending counts packets resident anywhere in the router (input VCs,
+	// output staging buffers, ejection channels). The simulator skips the
+	// Step of routers with no pending work.
+	pending int
+
+	// failStamp memoises failed proposals: failStamp[port][vc] records
+	// now+1 when no request could be built for the head of that VC at cycle
+	// `now`. Within a cycle no buffer space is ever freed (credits return
+	// through events between cycles, output/ejection buffers drain after the
+	// last allocation iteration) and no new head can appear (arrivals
+	// enqueue between cycles), so a failed request stays failed for the
+	// remaining allocation iterations of the cycle and need not be rebuilt.
+	// Heads with an unstable routing decision (uncommitted PAR/PB packets)
+	// are never stamped: their decision re-senses occupancy, which does
+	// change as the cycle's grants land.
+	failStamp [][]int64
+	// portFail is the port-level analogue: a port none of whose VCs could
+	// propose (all of them stampable) is skipped for the rest of the cycle.
+	portFail []int64
+	// plans caches, per input VC, the routing-stable part of the head
+	// packet's request (output port, allowed VC ranges, escape fallback).
+	// Occupancy-dependent checks are re-evaluated every cycle.
+	plans [][]vcPlan
+
+	// vcCand is reusable scratch for selectVC's candidate list.
+	vcCand []core.VCCandidate
+
 	// grantCount counts switch allocations, for utilisation statistics.
 	grantCount int64
 }
@@ -147,9 +174,14 @@ func New(id packet.RouterID, topo topology.Topology, scheme core.Scheme, alg rou
 	r.ejBusy = make([][]int64, r.numPorts)
 	r.inVCRR = make([]int, r.numPorts)
 	r.outRR = make([]int, r.numPorts*(1+params.NumClasses))
+	r.failStamp = make([][]int64, r.numPorts)
+	r.portFail = make([]int64, r.numPorts)
+	r.plans = make([][]vcPlan, r.numPorts)
 	for p := 0; p < r.numPorts; p++ {
 		kind := topo.PortKind(id, p)
 		numVCs := r.portVCs(kind)
+		r.failStamp[p] = make([]int64, numVCs)
+		r.plans[p] = make([]vcPlan, numVCs)
 		r.inputs[p] = buffer.NewInputBuffer(params.BufferConfig(kind, numVCs))
 		if kind == topology.Terminal {
 			r.eject[p] = make([]*buffer.OutputBuffer, params.NumClasses)
@@ -179,8 +211,22 @@ func (r *Router) SetEnv(env Env) { r.env = env }
 func (r *Router) ID() packet.RouterID { return r.id }
 
 // Input returns the input buffer of a port (injection buffers for terminal
-// ports). The simulator uses it to enqueue arrivals and to probe occupancy.
+// ports). The simulator uses it to probe occupancy; arrivals go through
+// EnqueueArrival so the router's pending-work counter stays exact.
 func (r *Router) Input(port int) *buffer.InputBuffer { return r.inputs[port] }
+
+// EnqueueArrival places a packet into an input VC (space must already be
+// reserved) and records the pending work, so Busy reports the router needs
+// stepping.
+func (r *Router) EnqueueArrival(port, vc int, pkt *packet.Packet, ready int64, kind packet.RouteKind) {
+	r.inputs[port].Enqueue(vc, pkt, ready, kind)
+	r.pending++
+}
+
+// Busy reports whether the router holds any packet (and therefore must be
+// stepped). Idle routers can safely be skipped: an empty router's Step is a
+// no-op that consumes no randomness and mutates no state.
+func (r *Router) Busy() bool { return r.pending > 0 }
 
 // Output returns the output staging buffer of a non-terminal port, or nil.
 func (r *Router) Output(port int) *buffer.OutputBuffer { return r.outputs[port] }
@@ -255,6 +301,9 @@ func (r *Router) allocate(now int64) {
 	// Phase 2 (fused): each output resource keeps the proposal closest to
 	// its round-robin pointer.
 	for p := 0; p < r.numPorts; p++ {
+		if r.portFail[p] == now+1 {
+			continue
+		}
 		req, ok := r.proposeFromPort(now, p)
 		if !ok {
 			continue
@@ -295,19 +344,78 @@ func (r *Router) rrDistance(key, inPort int) int {
 	return (inPort - r.outRR[key] + r.numPorts) % r.numPorts
 }
 
+// vcPlan caches the routing-stable part of the request for an input VC's
+// head packet: the routing decision, the allowed VC range of the planned
+// continuation and, when the plan is opportunistic, the escape fallback's
+// port and range. Those only depend on the packet's route state — which, for
+// a packet waiting at the head of a VC, is mutated exclusively by this
+// router's own Route/grant calls — so the plan stays valid until the head
+// changes. Occupancy checks (output buffer space, downstream credits, VC
+// selection) are re-evaluated every cycle from the plan.
+//
+// Plans are only reusable when the routing decision is provably stable:
+// MIN routing, or an adaptive packet that has already committed its decision
+// (Route degenerates to the pure routeToward). An uncommitted PAR/PB packet
+// re-senses congestion every cycle, so its plan is rebuilt on every
+// evaluation, which matches the pre-plan behaviour.
+//
+// Head identity is checked by pointer AND packet ID: the packet pool can
+// reissue the same pointer for a different packet.
+type vcPlan struct {
+	pkt    *packet.Packet
+	id     uint64
+	stable bool
+
+	deliver bool
+	class   int // ejection class (deliver only)
+	outPort int
+	outKind topology.PortKind
+	lo, hi  int // allowed downstream VC range; lo > hi when the plan has none
+
+	// Escape fallback (opportunistic Valiant continuations only).
+	escValid     bool
+	escOutPort   int
+	escOutKind   topology.PortKind
+	escLo, escHi int
+}
+
 // proposeFromPort picks the first requestable VC of an input port, starting
-// from its round-robin pointer.
+// from its round-robin pointer. When it finds nothing, it records fail
+// stamps so the rest of the cycle skips the re-evaluation — but only for
+// heads whose routing decision is stable: an uncommitted adaptive (PAR/PB)
+// packet re-senses congestion on every allocation iteration, and occupancy
+// grows as the cycle's grants land, so its decision may legitimately change
+// within the cycle.
 func (r *Router) proposeFromPort(now int64, p int) (request, bool) {
 	in := r.inputs[p]
 	nvc := in.NumVCs()
+	fails := r.failStamp[p]
+	plans := r.plans[p]
+	stampable := true
 	for k := 0; k < nvc; k++ {
 		vc := (r.inVCRR[p] + k) % nvc
-		pkt := in.Head(vc, now)
-		if pkt == nil {
+		if fails[vc] == now+1 {
+			// This head already failed earlier this cycle and no space has
+			// been freed since; skip the re-evaluation.
 			continue
 		}
-		req, ok := r.buildRequest(p, vc, pkt)
+		pkt := in.Head(vc, now)
+		if pkt == nil {
+			// Empty or not-yet-ready heads cannot change within the cycle
+			// (arrivals enqueue between cycles and ready times are fixed).
+			continue
+		}
+		plan := &plans[vc]
+		if plan.pkt != pkt || plan.id != pkt.ID || !plan.stable {
+			r.buildPlan(p, pkt, plan)
+		}
+		req, ok := r.requestFromPlan(plan, p, vc, pkt)
 		if !ok {
+			if plan.stable {
+				fails[vc] = now + 1
+			} else {
+				stampable = false
+			}
 			continue
 		}
 		// Advance the pointer past the requesting VC so other VCs get served
@@ -315,79 +423,70 @@ func (r *Router) proposeFromPort(now int64, p int) (request, bool) {
 		r.inVCRR[p] = (vc + 1) % nvc
 		return req, true
 	}
+	if stampable {
+		r.portFail[p] = now + 1
+	}
 	return request{}, false
 }
 
-// buildRequest resolves routing and VC management for the head packet of an
-// input VC and checks that the chosen resources have room. When the planned
-// continuation of a Valiant detour has no room, the packet's escape path (the
-// minimal route to its destination) is requested instead, as the paper's
-// opportunistic-routing rule prescribes; the detour is only abandoned if that
+// buildPlan resolves routing and VC management for the head packet of an
+// input VC. When the planned continuation of a Valiant detour is
+// opportunistic (not classified safe), the packet's escape path (the minimal
+// route to its destination) is planned as a fallback, as the paper's
+// opportunistic-routing rule prescribes; the detour is only abandoned if the
 // escape request wins allocation.
-func (r *Router) buildRequest(p, vc int, pkt *packet.Packet) (request, bool) {
+func (r *Router) buildPlan(p int, pkt *packet.Packet, plan *vcPlan) {
 	dec := r.alg.Route(r.id, pkt, r.rng)
+	*plan = vcPlan{
+		pkt:    pkt,
+		id:     pkt.ID,
+		stable: pkt.Route.AdaptiveDecided || r.alg.Kind() == routing.MIN,
+	}
 	if dec.Deliver {
-		tp := r.topo.TerminalPort(r.id, pkt.Dst)
 		class := int(pkt.Class)
 		if class >= r.params.NumClasses {
 			class = r.params.NumClasses - 1
 		}
-		if !r.eject[tp][class].CanAccept(pkt.Size) {
-			return request{}, false
-		}
-		return request{inPort: p, inVC: vc, pkt: pkt, outPort: tp, destVC: 0, terminal: true, class: class, outKind: topology.Terminal}, true
+		plan.deliver = true
+		plan.outPort = r.topo.TerminalPort(r.id, pkt.Dst)
+		plan.class = class
+		return
 	}
-	req, ok, safe := r.buildForwardRequest(p, vc, pkt, dec.OutPort, false)
-	if ok {
-		return req, true
-	}
-	// Escape fallback: a packet whose planned continuation is opportunistic
-	// (it no longer fits in increasing VCs above its current buffer) must be
-	// able to fall back to the minimal path toward its destination, or the
-	// opportunistic hops could form a cycle. Safe continuations just wait.
+	var safe bool
+	plan.outPort = dec.OutPort
+	plan.outKind, plan.lo, plan.hi, safe = r.planRange(p, pkt, dec.OutPort, false)
 	if !safe && pkt.Route.Kind == packet.Nonminimal && pkt.Route.Phase == packet.PhaseToIntermediate {
 		escPort := r.topo.NextMinimalPort(r.id, pkt.DstRouter)
 		if escPort >= 0 && escPort != dec.OutPort {
-			if req, ok, _ := r.buildForwardRequest(p, vc, pkt, escPort, true); ok {
-				return req, true
-			}
+			plan.escOutKind, plan.escLo, plan.escHi, _ = r.planRange(p, pkt, escPort, true)
+			plan.escOutPort = escPort
+			plan.escValid = plan.escLo <= plan.escHi
 		}
 	}
-	return request{}, false
 }
 
-// buildForwardRequest checks room along one candidate output port. With
-// revert set, the VC range is computed for the escape (minimal) continuation
-// rather than the planned one. The third result reports whether the planned
-// continuation was classified safe (so the caller knows whether an escape
-// fallback is required when the request cannot be built).
-func (r *Router) buildForwardRequest(p, vc int, pkt *packet.Packet, outPort int, revert bool) (request, bool, bool) {
+// planRange computes the allowed VC range at the downstream input port of
+// one candidate output port. With revert set, the range is computed for the
+// escape (minimal) continuation rather than the planned one. It returns
+// lo > hi when the continuation is invalid or has no allowed VCs; safe
+// reports whether the continuation was classified as a safe hop.
+func (r *Router) planRange(p int, pkt *packet.Packet, outPort int, revert bool) (kind topology.PortKind, lo, hi int, safe bool) {
 	if outPort < 0 {
-		return request{}, false, false
+		return topology.Terminal, 1, 0, false
 	}
-	outKind := r.topo.PortKind(r.id, outPort)
-	destVC, ok, safe := r.chooseVC(p, vc, pkt, outPort, outKind, revert)
-	if !ok || !r.outputs[outPort].CanAccept(pkt.Size) {
-		return request{}, false, safe
-	}
-	return request{inPort: p, inVC: vc, pkt: pkt, outPort: outPort, destVC: destVC, outKind: outKind, revert: revert}, true, safe
-}
-
-// chooseVC computes the allowed VC range at the downstream input port and
-// picks one VC with room using the scheme's selection function. With revert
-// set, the packet is being evaluated along its escape (minimal) path, so the
-// planned continuation is the escape itself. The third result reports whether
-// the continuation was classified as a safe hop.
-func (r *Router) chooseVC(p, vc int, pkt *packet.Packet, outPort int, outKind topology.PortKind, revert bool) (int, bool, bool) {
+	kind = r.topo.PortKind(r.id, outPort)
 	next, _ := r.topo.Neighbor(r.id, outPort)
 	escape := routing.EscapeRemaining(r.topo, next, pkt)
 	planned := escape
-	if !revert {
+	if !revert && pkt.Route.Kind == packet.Nonminimal && pkt.Route.Phase == packet.PhaseToIntermediate {
+		// Only a Valiant detour still heading to its intermediate differs
+		// from the escape path; every other plan IS the minimal path, which
+		// PlannedRemaining would recompute identically.
 		planned = routing.PlannedRemaining(r.topo, next, pkt)
 	}
 	ctx := core.HopContext{
 		Class:        pkt.Class,
-		Kind:         outKind,
+		Kind:         kind,
 		InputKind:    r.topo.PortKind(r.id, p),
 		InputVC:      pkt.Route.InputVC,
 		RefPosition:  routing.BaselinePosition(r.topo, pkt),
@@ -396,22 +495,59 @@ func (r *Router) chooseVC(p, vc int, pkt *packet.Packet, outPort int, outKind to
 	}
 	vcRange := r.mgr.AllowedVCs(ctx)
 	if vcRange.Empty() {
-		return -1, false, false
+		return kind, 1, 0, false
 	}
 	down := r.env.DownstreamInput(r.id, outPort)
 	if down == nil {
-		return -1, false, vcRange.Safe
+		return kind, 1, 0, vcRange.Safe
 	}
-	hi := vcRange.Hi
+	hi = vcRange.Hi
 	if hi >= down.NumVCs() {
 		hi = down.NumVCs() - 1
 	}
-	candidates := make([]core.VCCandidate, 0, hi-vcRange.Lo+1)
-	for v := vcRange.Lo; v <= hi; v++ {
+	return kind, vcRange.Lo, hi, vcRange.Safe
+}
+
+// requestFromPlan performs the per-cycle, occupancy-dependent half of
+// request building: ejection/output buffer admission and VC selection over
+// the plan's allowed range, falling back to the escape plan when the planned
+// continuation has no room.
+func (r *Router) requestFromPlan(plan *vcPlan, p, vc int, pkt *packet.Packet) (request, bool) {
+	if plan.deliver {
+		if !r.eject[plan.outPort][plan.class].CanAccept(pkt.Size) {
+			return request{}, false
+		}
+		return request{inPort: p, inVC: vc, pkt: pkt, outPort: plan.outPort, destVC: 0,
+			terminal: true, class: plan.class, outKind: topology.Terminal}, true
+	}
+	if plan.lo <= plan.hi && r.outputs[plan.outPort].CanAccept(pkt.Size) {
+		if destVC, ok := r.selectVC(plan.outPort, plan.lo, plan.hi, pkt.Size); ok {
+			return request{inPort: p, inVC: vc, pkt: pkt, outPort: plan.outPort,
+				destVC: destVC, outKind: plan.outKind}, true
+		}
+	}
+	if plan.escValid && r.outputs[plan.escOutPort].CanAccept(pkt.Size) {
+		if destVC, ok := r.selectVC(plan.escOutPort, plan.escLo, plan.escHi, pkt.Size); ok {
+			return request{inPort: p, inVC: vc, pkt: pkt, outPort: plan.escOutPort,
+				destVC: destVC, outKind: plan.escOutKind, revert: true}, true
+		}
+	}
+	return request{}, false
+}
+
+// selectVC picks one downstream VC with room in [lo, hi] using the scheme's
+// selection function.
+func (r *Router) selectVC(outPort, lo, hi, size int) (int, bool) {
+	down := r.env.DownstreamInput(r.id, outPort)
+	if down == nil {
+		return -1, false
+	}
+	candidates := r.vcCand[:0]
+	for v := lo; v <= hi; v++ {
 		candidates = append(candidates, core.VCCandidate{VC: v, Free: down.FreeFor(v)})
 	}
-	chosen, ok := r.scheme.Selection.Select(candidates, pkt.Size, r.rng)
-	return chosen, ok, vcRange.Safe
+	r.vcCand = candidates
+	return r.scheme.Selection.Select(candidates, size, r.rng)
 }
 
 // grant moves a packet from its input VC into the chosen output buffer,
@@ -479,6 +615,7 @@ func (r *Router) transmitLink(now int64, p int) {
 		return
 	}
 	r.outputs[p].Pop()
+	r.pending--
 	r.linkBusy[p] = now + int64(pkt.Size)
 	next, nport := r.topo.Neighbor(r.id, p)
 	latency := int64(r.params.LinkLatency(r.topo.PortKind(r.id, p)))
@@ -494,6 +631,7 @@ func (r *Router) transmitEject(now int64, p, c int) {
 		return
 	}
 	r.eject[p][c].Pop()
+	r.pending--
 	r.ejBusy[p][c] = now + int64(pkt.Size)
 	r.env.ScheduleDelivery(int64(r.params.InjectionLatency+pkt.Size), pkt)
 }

@@ -61,6 +61,9 @@ type PBManager struct {
 	computed [][]bool
 	visible  [][]bool
 	lastPub  int64
+	// occ is reusable scratch for the per-router occupancy snapshot taken
+	// every cycle in Update.
+	occ []int
 }
 
 // NewPBManager builds the saturation-state manager. numClasses is 1 for
@@ -73,6 +76,7 @@ func NewPBManager(topo *topology.Dragonfly, probe Probe, cfg PBConfig, numClasse
 	m := &PBManager{topo: topo, probe: probe, cfg: cfg, numClasses: numClasses, lastPub: -1}
 	m.computed = make([][]bool, numClasses)
 	m.visible = make([][]bool, numClasses)
+	m.occ = make([]int, topo.H)
 	for c := 0; c < numClasses; c++ {
 		m.computed[c] = make([]bool, n)
 		m.visible[c] = make([]bool, n)
@@ -100,7 +104,7 @@ func (m *PBManager) Update(now int64) {
 		for r := 0; r < m.topo.NumRouters(); r++ {
 			rid := packet.RouterID(r)
 			sum := 0
-			occ := make([]int, h)
+			occ := m.occ
 			for g := 0; g < h; g++ {
 				occ[g] = m.probe.OutputOccupancy(rid, first+g, vc, m.cfg.MinCredOnly)
 				sum += occ[g]

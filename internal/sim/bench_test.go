@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"testing"
+
+	"flexvc/internal/config"
+)
+
+// warmNetwork builds a Small network at the given load and advances it past
+// the initial transient so benchmarks observe steady-state behaviour.
+func warmNetwork(b *testing.B, load float64) *Network {
+	b.Helper()
+	cfg := config.Small()
+	cfg.Load = load
+	n, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.RunCycles(500)
+	return n
+}
+
+// BenchmarkNetworkStepModerate measures one full simulator cycle (events,
+// injection, router steps) at moderate load on the Small Dragonfly.
+func BenchmarkNetworkStepModerate(b *testing.B) {
+	n := warmNetwork(b, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+}
+
+// BenchmarkNetworkStepSaturated measures one full simulator cycle at full
+// offered load, the regime the saturation-throughput experiments live in.
+func BenchmarkNetworkStepSaturated(b *testing.B) {
+	n := warmNetwork(b, 1.0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+}
+
+// BenchmarkNetworkStepIdle measures one simulator cycle with zero offered
+// load and an empty network: the fixed per-cycle overhead of scanning nodes
+// and routers that have nothing to do.
+func BenchmarkNetworkStepIdle(b *testing.B) {
+	n := warmNetwork(b, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+}
+
+// BenchmarkInject isolates the NIC model: per-cycle traffic generation plus
+// the injection attempts at every node, without the router and event layers.
+func BenchmarkInject(b *testing.B) {
+	n := warmNetwork(b, 1.0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.inject()
+		n.now++
+	}
+}
+
+// BenchmarkRunAveraged measures a full multi-replication point (the unit of
+// work of every sweep): build, warm up, measure and summarise, for several
+// independent seeds.
+func BenchmarkRunAveraged(b *testing.B) {
+	cfg := config.Small()
+	cfg.Load = 0.6
+	cfg.WarmupCycles = 300
+	cfg.MeasureCycles = 1200
+	cfg.DeadlockCycles = 3000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		agg, _, err := RunAveraged(cfg, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.DeliveredPackets == 0 {
+			b.Fatal("no traffic delivered")
+		}
+	}
+}

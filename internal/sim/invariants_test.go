@@ -155,7 +155,7 @@ func TestConservation(t *testing.T) {
 func pendingAtSources(n *Network) int64 {
 	var total int64
 	for i := range n.nodes {
-		total += int64(len(n.nodes[i].requests) + len(n.nodes[i].replies))
+		total += int64(n.nodes[i].requests.len() + n.nodes[i].replies.len())
 	}
 	return total
 }
@@ -179,8 +179,8 @@ func TestDrainAfterLoadStops(t *testing.T) {
 	}
 	n.gen = silent.gen
 	for i := range n.nodes {
-		n.nodes[i].requests = nil
-		n.nodes[i].replies = nil
+		n.nodes[i].requests.reset()
+		n.nodes[i].replies.reset()
 	}
 	n.RunCycles(4000)
 	if n.InFlight() != 0 {

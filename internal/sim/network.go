@@ -20,13 +20,19 @@ import (
 )
 
 // nodeState is the per-node NIC model: an unbounded source queue for new
-// requests, a reply queue that takes priority (the consumption assumption:
-// nodes always sink requests and buffer the replies they owe), and the pacing
-// of the injection link at one phit per cycle.
+// requests, a queue for the replies the node owes (the consumption
+// assumption: nodes always sink requests and buffer the replies they owe),
+// and the pacing of the injection link at one phit per cycle. When both
+// queues hold packets the classes alternate so neither starves the other.
 type nodeState struct {
-	requests   []*packet.Packet
-	replies    []*packet.Packet
+	requests   pktFIFO
+	replies    pktFIFO
 	nextInject int64
+	// lastWasReply records the class of the last injected packet, for the
+	// round-robin tie-break between the two queues.
+	lastWasReply bool
+	// queued marks membership in Network.pendingNodes.
+	queued bool
 }
 
 // Network is one simulated network instance.
@@ -40,6 +46,14 @@ type Network struct {
 	gen     traffic.Generator
 	routers []*router.Router
 	nodes   []nodeState
+	pool    *packet.Pool
+
+	// activeRouter flags routers holding packets; Step skips the others.
+	activeRouter []bool
+	// pendingNodes lists nodes with queued NIC work, so the injection pass
+	// does not arbitrate at every node every cycle. Order is irrelevant:
+	// injection at a node only touches that node's own terminal port.
+	pendingNodes []packet.NodeID
 
 	wheel     eventWheel
 	collector *stats.Collector
@@ -60,7 +74,7 @@ func New(cfg config.Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &Network{cfg: cfg, topo: topo, scheme: cfg.Scheme}
+	n := &Network{cfg: cfg, topo: topo, scheme: cfg.Scheme, pool: &packet.Pool{}}
 
 	// Traffic.
 	gen, err := traffic.New(string(cfg.Traffic), traffic.Params{
@@ -69,6 +83,7 @@ func New(cfg config.Config) (*Network, error) {
 		PacketSize:     cfg.PacketSize,
 		Seed:           cfg.Seed,
 		AvgBurstLength: cfg.AvgBurstLength,
+		Pool:           n.pool,
 	}, cfg.Reactive)
 	if err != nil {
 		return nil, err
@@ -105,6 +120,8 @@ func New(cfg config.Config) (*Network, error) {
 	}
 
 	n.nodes = make([]nodeState, topo.NumNodes())
+	n.activeRouter = make([]bool, topo.NumRouters())
+	n.pendingNodes = make([]packet.NodeID, 0, topo.NumNodes())
 	maxDelay := int64(cfg.GlobalLatency + cfg.PacketSize + cfg.RouterPipeline + cfg.LocalLatency + 8)
 	n.wheel.init(maxDelay)
 

@@ -1,0 +1,40 @@
+package sim
+
+import "runtime"
+
+// The replication worker budget is a global token pool bounding how many
+// simulations run concurrently across the whole process, regardless of how
+// many sweeps, points or RunAveraged calls fan work out. Sharing one budget
+// (instead of per-call semaphores) lets a sweep saturate every core without
+// oversubscribing: each leaf worker builds its network only after acquiring a
+// token, so peak memory is bounded by the budget too.
+var workerBudget = make(chan struct{}, defaultWorkers())
+
+func defaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SetWorkerBudget resizes the global worker budget (default: GOMAXPROCS).
+// It must be called before any simulations are launched; it is not safe to
+// call concurrently with running sweeps.
+func SetWorkerBudget(n int) {
+	if n < 1 {
+		n = 1
+	}
+	workerBudget = make(chan struct{}, n)
+}
+
+// WorkerBudget returns the current budget size.
+func WorkerBudget() int { return cap(workerBudget) }
+
+// acquireWorker blocks until a worker token is free and returns the release
+// function.
+func acquireWorker() func() {
+	budget := workerBudget
+	budget <- struct{}{}
+	return func() { <-budget }
+}

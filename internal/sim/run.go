@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"flexvc/internal/config"
 	"flexvc/internal/stats"
@@ -58,21 +59,57 @@ func RunOne(cfg config.Config) (stats.Result, error) {
 	return n.Run(), nil
 }
 
+// replicationSeed derives the seed of replication s from the base
+// configuration seed. Every replication owns its configuration, network and
+// PRNG streams, so replications are independent of each other and of the
+// order (or concurrency) in which they execute.
+func replicationSeed(base int64, s int) int64 { return base + int64(s)*7919 }
+
 // RunAveraged runs `seeds` independent replications (the paper averages 5)
-// and returns the aggregated result together with the individual runs.
+// and returns the aggregated result together with the individual runs, in
+// replication order.
+//
+// Replications execute concurrently on the process-wide worker budget (see
+// SetWorkerBudget). Each replication is fully self-contained and results are
+// aggregated in replication order, so the output is bit-identical to running
+// the same replications sequentially.
 func RunAveraged(cfg config.Config, seeds int) (stats.Result, []stats.Result, error) {
 	if seeds < 1 {
 		return stats.Result{}, nil, fmt.Errorf("sim: need at least one replication")
 	}
-	results := make([]stats.Result, 0, seeds)
-	for s := 0; s < seeds; s++ {
+	results := make([]stats.Result, seeds)
+	if seeds == 1 {
+		// Run in place (still bounded by the worker budget so concurrent
+		// sweep points cannot oversubscribe the machine).
+		release := acquireWorker()
+		defer release()
 		c := cfg
-		c.Seed = cfg.Seed + int64(s)*7919
+		c.Seed = replicationSeed(cfg.Seed, 0)
 		r, err := RunOne(c)
 		if err != nil {
 			return stats.Result{}, nil, err
 		}
-		results = append(results, r)
+		results[0] = r
+		return stats.Aggregate(results), results, nil
+	}
+	errs := make([]error, seeds)
+	var wg sync.WaitGroup
+	for s := 0; s < seeds; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			release := acquireWorker()
+			defer release()
+			c := cfg
+			c.Seed = replicationSeed(cfg.Seed, s)
+			results[s], errs[s] = RunOne(c)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats.Result{}, nil, err
+		}
 	}
 	return stats.Aggregate(results), results, nil
 }

@@ -4,22 +4,89 @@ import (
 	"flexvc/internal/packet"
 )
 
+// pktFIFO is an unbounded NIC queue with an explicit head index, so popping
+// the front neither reallocates nor abandons backing storage: once drained,
+// the slice is rewound and its capacity reused.
+type pktFIFO struct {
+	items []*packet.Packet
+	head  int
+}
+
+func (q *pktFIFO) len() int    { return len(q.items) - q.head }
+func (q *pktFIFO) empty() bool { return q.head >= len(q.items) }
+
+func (q *pktFIFO) push(p *packet.Packet) {
+	if q.head > 0 && q.head >= len(q.items)-q.head {
+		// The dead prefix is at least as large as the live tail: compact so
+		// a queue that never fully drains cannot grow its backing array
+		// beyond twice its live depth. Amortised O(1) per push.
+		live := copy(q.items, q.items[q.head:])
+		for i := live; i < len(q.items); i++ {
+			q.items[i] = nil
+		}
+		q.items = q.items[:live]
+		q.head = 0
+	}
+	q.items = append(q.items, p)
+}
+
+func (q *pktFIFO) peek() *packet.Packet { return q.items[q.head] }
+
+func (q *pktFIFO) pop() *packet.Packet {
+	p := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return p
+}
+
+func (q *pktFIFO) reset() { q.items = q.items[:0]; q.head = 0 }
+
 // Step advances the network by one cycle:
 //
 //  1. process due events (arrivals into input VCs, credit returns, deliveries)
 //  2. inject traffic at the NICs
 //  3. refresh the piggybacked congestion state (PB routing only)
-//  4. step every router (allocation iterations + link transmission)
+//  4. step every router that holds work (allocation iterations + link
+//     transmission); idle routers are skipped — an empty router's Step is a
+//     no-op that consumes no randomness, so skipping it cannot change results
+//
+// Routers are stepped in ascending identifier order. The order matters for
+// exact reproducibility: a router's grants consume downstream credits that
+// later routers observe through their congestion probes within the same
+// cycle.
 func (n *Network) Step() {
 	n.processEvents()
 	n.inject()
 	if n.pb != nil {
 		n.pb.Update(n.now)
 	}
-	for _, r := range n.routers {
+	for id, r := range n.routers {
+		if !n.activeRouter[id] {
+			continue
+		}
 		r.Step(n.now)
+		if !r.Busy() {
+			n.activeRouter[id] = false
+		}
 	}
 	n.now++
+}
+
+// markRouterActive flags a router for stepping; it stays flagged until a Step
+// leaves it with no resident packets.
+func (n *Network) markRouterActive(r packet.RouterID) { n.activeRouter[r] = true }
+
+// queueNode flags a node as holding NIC work (queued requests or replies), so
+// the injection pass visits it. The flag is cleared once both queues drain.
+func (n *Network) queueNode(node packet.NodeID) {
+	if !n.nodes[node].queued {
+		n.nodes[node].queued = true
+		n.pendingNodes = append(n.pendingNodes, node)
+	}
 }
 
 // processEvents drains the events due this cycle.
@@ -30,7 +97,8 @@ func (n *Network) processEvents() {
 			// The packet becomes visible to the allocator once the router
 			// pipeline latency has elapsed.
 			ready := n.now + int64(n.cfg.RouterPipeline)
-			n.routers[ev.router].Input(ev.port).Enqueue(ev.vc, ev.pkt, ready, ev.rkind)
+			n.routers[ev.router].EnqueueArrival(ev.port, ev.vc, ev.pkt, ready, ev.rkind)
+			n.markRouterActive(ev.router)
 		case evCredit:
 			ev.buf.ReleaseCredit(ev.vc, ev.size, ev.rkind)
 		case evDelivery:
@@ -39,69 +107,113 @@ func (n *Network) processEvents() {
 	}
 }
 
-// deliver consumes a packet at its destination node.
+// deliver consumes a packet at its destination node, collects the reply the
+// destination now owes (reactive traffic), and recycles packet memory that
+// can no longer be referenced.
 func (n *Network) deliver(pkt *packet.Packet) {
 	pkt.RecvTime = n.now
 	n.inFlight--
 	n.collector.Delivered(pkt, n.now)
 	n.gen.Delivered(n.now, pkt)
+	if !n.cfg.Reactive {
+		n.pool.Put(pkt)
+		return
+	}
+	if pkt.Class == packet.Request {
+		// Move the owed reply to the NIC immediately instead of polling every
+		// node every cycle. The delivered request stays alive: its reply
+		// references it through ReplyTo until the reply itself is delivered.
+		if reply := n.gen.PendingReplies(pkt.Dst); reply != nil {
+			n.nodes[pkt.Dst].replies.push(reply)
+			n.queueNode(pkt.Dst)
+		}
+		return
+	}
+	// A delivered reply closes its transaction: both the reply and the
+	// request it retained are unreachable now.
+	if pkt.ReplyTo != nil {
+		n.pool.Put(pkt.ReplyTo)
+		pkt.ReplyTo = nil
+	}
+	n.pool.Put(pkt)
 }
 
-// inject runs the NIC model of every node: generate new requests, collect
-// owed replies, and move at most one packet per injection-link transmission
-// time into the source router's injection buffers.
+// inject runs the NIC model: every node's generator is polled each cycle (the
+// per-node PRNG streams must advance deterministically), but the injection
+// attempt — queue arbitration, JSQ over the injection VCs, credit
+// reservation — only runs for nodes that actually hold queued work.
 func (n *Network) inject() {
 	for node := range n.nodes {
-		ns := &n.nodes[node]
-		nid := packet.NodeID(node)
-
-		if pkt := n.gen.Generate(n.now, nid); pkt != nil {
+		if pkt := n.gen.Generate(n.now, packet.NodeID(node)); pkt != nil {
 			n.generated++
 			n.collector.Generated(pkt)
-			ns.requests = append(ns.requests, pkt)
+			n.nodes[node].requests.push(pkt)
+			n.queueNode(packet.NodeID(node))
 		}
-		if reply := n.gen.PendingReplies(nid); reply != nil {
-			ns.replies = append(ns.replies, reply)
+	}
+	live := n.pendingNodes[:0]
+	for _, node := range n.pendingNodes {
+		ns := &n.nodes[node]
+		if ns.requests.empty() && ns.replies.empty() {
+			ns.queued = false
+			continue
 		}
-
+		live = append(live, node)
 		if ns.nextInject > n.now {
 			continue
 		}
-		var queue *[]*packet.Packet
-		switch {
-		case len(ns.replies) > 0:
-			queue = &ns.replies
-		case len(ns.requests) > 0:
-			queue = &ns.requests
-		default:
-			continue
-		}
-		pkt := (*queue)[0]
-		rtr := n.topo.RouterOfNode(nid)
-		port := n.topo.TerminalPort(rtr, nid)
-		buf := n.routers[rtr].Input(port)
-		// Pick the injection VC with the most free space (JSQ over the
-		// injection queues); skip this cycle if none fits.
-		bestVC, bestFree := -1, -1
-		for vc := 0; vc < buf.NumVCs(); vc++ {
-			if free := buf.FreeFor(vc); free >= pkt.Size && free > bestFree {
-				bestVC, bestFree = vc, free
-			}
-		}
-		if bestVC < 0 {
-			continue
-		}
-		if !buf.Reserve(bestVC, pkt.Size, pkt.Route.Kind) {
-			continue
-		}
-		ready := n.now + int64(n.cfg.InjectionLatency+n.cfg.RouterPipeline)
-		buf.Enqueue(bestVC, pkt, ready, pkt.Route.Kind)
-		pkt.InjectTime = n.now
-		n.collector.Injected(pkt)
-		n.inFlight++
-		ns.nextInject = n.now + int64(pkt.Size)
-		*queue = (*queue)[1:]
+		n.tryInject(node, ns)
 	}
+	n.pendingNodes = live
+}
+
+// tryInject moves at most one packet from a node's NIC queues into the source
+// router's injection buffers. When both requests and replies are queued the
+// classes alternate (round-robin): replies must keep draining (the
+// consumption assumption that breaks protocol deadlock needs the NIC to
+// absorb them), but a continuous reply stream must not starve locally
+// generated requests forever either.
+func (n *Network) tryInject(node packet.NodeID, ns *nodeState) {
+	var queue *pktFIFO
+	switch {
+	case !ns.replies.empty() && !ns.requests.empty():
+		if ns.lastWasReply {
+			queue = &ns.requests
+		} else {
+			queue = &ns.replies
+		}
+	case !ns.replies.empty():
+		queue = &ns.replies
+	default:
+		queue = &ns.requests
+	}
+	pkt := queue.peek()
+	rtr := n.topo.RouterOfNode(node)
+	port := n.topo.TerminalPort(rtr, node)
+	buf := n.routers[rtr].Input(port)
+	// Pick the injection VC with the most free space (JSQ over the
+	// injection queues); skip this cycle if none fits.
+	bestVC, bestFree := -1, -1
+	for vc := 0; vc < buf.NumVCs(); vc++ {
+		if free := buf.FreeFor(vc); free >= pkt.Size && free > bestFree {
+			bestVC, bestFree = vc, free
+		}
+	}
+	if bestVC < 0 {
+		return
+	}
+	if !buf.Reserve(bestVC, pkt.Size, pkt.Route.Kind) {
+		return
+	}
+	ready := n.now + int64(n.cfg.InjectionLatency+n.cfg.RouterPipeline)
+	n.routers[rtr].EnqueueArrival(port, bestVC, pkt, ready, pkt.Route.Kind)
+	n.markRouterActive(rtr)
+	pkt.InjectTime = n.now
+	n.collector.Injected(pkt)
+	n.inFlight++
+	ns.nextInject = n.now + int64(pkt.Size)
+	ns.lastWasReply = pkt.Class == packet.Reply
+	queue.pop()
 }
 
 // ResidentPackets returns the number of packets currently stored in router

@@ -65,8 +65,10 @@ type Options struct {
 	Seeds int
 	// Loads overrides the offered-load sweep points (phits/node/cycle).
 	Loads []float64
-	// Parallelism bounds the number of simulations run concurrently; 0
-	// means one per available point up to a small default.
+	// Parallelism, when positive, caps how many sweep points may be in
+	// flight at once (a memory guard for huge sweeps). CPU concurrency is
+	// governed by the process-wide worker budget (sim.SetWorkerBudget)
+	// either way; 0 leaves points unbounded.
 	Parallelism int
 	// Quick trims the sweep to fewer points and shorter measurement windows
 	// for smoke runs and benchmarks.
@@ -75,7 +77,7 @@ type Options struct {
 
 // DefaultOptions returns the options used by the command-line harness.
 func DefaultOptions() Options {
-	return Options{Scale: "small", Seeds: 1, Parallelism: 4}
+	return Options{Scale: "small", Seeds: 1}
 }
 
 // BaseConfig returns the simulator configuration for the chosen scale.
@@ -117,8 +119,8 @@ func (o Options) seeds() int {
 }
 
 func (o Options) parallelism() int {
-	if o.Parallelism < 1 {
-		return 4
+	if o.Parallelism < 0 {
+		return 0
 	}
 	return o.Parallelism
 }
@@ -139,7 +141,18 @@ type job struct {
 }
 
 // LoadSweep runs every variant across the given offered loads, with the
-// requested number of replications per point, in parallel across points.
+// requested number of replications per point.
+//
+// Every point of every series is scheduled at once and all replications drain
+// through the process-wide worker budget shared with sim.RunAveraged (see
+// sim.SetWorkerBudget), so one global limit governs CPU use no matter how
+// many series or sweeps are in flight — not a per-series fan-out. The
+// optional parallelism argument (> 0) additionally caps how many points may
+// be in flight at once, which bounds peak memory on huge sweeps; 0 or less
+// leaves points unbounded, governed purely by the worker budget.
+//
+// Results are deterministic regardless of scheduling: each point writes only
+// its own slot and every replication owns its configuration and RNG streams.
 func LoadSweep(base config.Config, variants []Variant, loads []float64, seeds, parallelism int) ([]Series, error) {
 	series := make([]Series, len(variants))
 	jobs := make([]job, 0, len(variants)*len(loads))
@@ -160,13 +173,18 @@ func LoadSweep(base config.Config, variants []Variant, loads []float64, seeds, p
 
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, parallelism)
+	var sem chan struct{}
+	if parallelism > 0 {
+		sem = make(chan struct{}, parallelism)
+	}
 	for ji := range jobs {
 		wg.Add(1)
 		go func(ji int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
 			j := jobs[ji]
 			agg, _, err := sim.RunAveraged(j.cfg, j.seeds)
 			if err != nil {

@@ -47,6 +47,10 @@ type Params struct {
 	Seed int64
 	// AvgBurstLength is the mean burst length in packets (BURSTY-UN only).
 	AvgBurstLength float64
+	// Pool, when non-nil, recycles delivered packets into new ones so the
+	// steady-state simulation allocates nothing per packet. A nil pool falls
+	// back to plain allocation.
+	Pool *packet.Pool
 }
 
 // packetRate returns the per-cycle packet generation probability that yields
