@@ -22,6 +22,7 @@ import (
 	"flexvc/internal/core"
 	"flexvc/internal/routing"
 	"flexvc/internal/sim"
+	"flexvc/internal/stats"
 )
 
 func main() {
@@ -52,6 +53,7 @@ func run(args []string) error {
 		speedup  = fs.Int("speedup", 0, "router speedup override (0 keeps the scale default)")
 		seed     = fs.Int64("seed", 1, "base random seed")
 		workers  = fs.Int("workers", 0, "concurrent replication workers (0 = GOMAXPROCS)")
+		tableMB  = fs.Int("route-table-mb", 0, "memory budget for precomputed route tables in MiB (0 = default, negative disables)")
 		verbose  = fs.Bool("v", false, "print per-replication results")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -66,6 +68,9 @@ func run(args []string) error {
 	cfg.Reactive = *reactive
 	cfg.Load = *load
 	cfg.Seed = *seed
+	if *tableMB != 0 {
+		cfg.RouteTableBytes = *tableMB << 20
+	}
 	if *speedup > 0 {
 		cfg.Speedup = *speedup
 	}
@@ -108,7 +113,8 @@ func run(args []string) error {
 	fmt.Printf("result: %v\n", agg)
 	fmt.Printf("  accepted load : %.4f phits/node/cycle\n", agg.AcceptedLoad)
 	fmt.Printf("  avg latency   : %.1f cycles (network-only %.1f)\n", agg.AvgLatency, agg.AvgNetLatency)
-	fmt.Printf("  p50/p95/p99   : %.1f / %.1f / %.1f cycles\n", agg.P50, agg.P95, agg.P99)
+	fmt.Printf("  p50/p95/p99   : %.1f / %.1f / %.1f cycles (histogram, ≤%.2f%% rel. error)\n",
+		agg.P50, agg.P95, agg.P99, 100*stats.PercentileErrorBound)
 	fmt.Printf("  avg hops      : %.2f, minimally routed %.1f%%\n", agg.AvgHops, 100*agg.MinimalFraction)
 	if agg.Deadlock {
 		fmt.Println("  WARNING: the deadlock watchdog aborted at least one replication")

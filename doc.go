@@ -27,8 +27,14 @@
 // buffer FIFOs are rings, packets are recycled through a per-network
 // free-list, and the allocator caches the routing-stable part of each head
 // packet's request (output port, allowed VC range, escape fallback) so only
-// occupancy checks are re-evaluated every cycle. BENCHMARKS.md records the
-// per-layer and end-to-end numbers and how to reproduce them.
+// occupancy checks are re-evaluated every cycle. Routing queries are
+// answered from precomputed flat tables (internal/topology/routetable.go,
+// memory-gated so paper-scale networks fall back to on-the-fly arithmetic),
+// the allocator batches proposals over occupancy bitmasks instead of probing
+// every VC, and the statistics collector records latencies into a fixed-size
+// histogram (internal/stats) so its memory never grows with the measurement
+// window. BENCHMARKS.md records the per-layer and end-to-end numbers and how
+// to reproduce them.
 //
 // Experiments run at three scales — "small" (36-router Dragonfly, seconds),
 // "medium" (264 routers) and "paper" (the full 2,064-router system of

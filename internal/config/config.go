@@ -88,6 +88,15 @@ type Config struct {
 	// request with a reply to the source.
 	Reactive bool
 
+	// --- Precomputed route tables ---
+	// RouteTableBytes is the memory gate for the precomputed per-pair route
+	// tables (see topology.Precomputer): 0 selects
+	// topology.DefaultTableBudget, a positive value sets the budget in bytes,
+	// and a negative value disables precomputation entirely (every routing
+	// query is computed on the fly). Table-backed and on-the-fly routing are
+	// bit-identical; the gate only trades memory for speed.
+	RouteTableBytes int
+
 	// --- Simulation control ---
 	WarmupCycles  int64
 	MeasureCycles int64

@@ -81,7 +81,7 @@ func BenchmarkRouterStepBusy(b *testing.B) {
 				pkt.SrcRouter = 0
 				pkt.DstRouter = topo.RouterOfNode(dst)
 				inj.Reserve(vc, pkt.Size, packet.Minimal)
-				inj.Enqueue(vc, pkt, now, packet.Minimal)
+				rt.EnqueueArrival(0, vc, pkt, now, packet.Minimal)
 			}
 		}
 	}

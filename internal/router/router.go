@@ -13,6 +13,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"flexvc/internal/buffer"
@@ -116,6 +117,31 @@ type Router struct {
 	linkBusy []int64
 	ejBusy   [][]int64
 
+	// Immutable per-port facts, resolved once at construction so the
+	// allocation and transmit passes never re-query the topology interface.
+	kinds    []topology.PortKind
+	nbrs     []packet.RouterID // neighbor router per port (InvalidRouter for terminal)
+	nbrPorts []int             // input port on the neighbor (-1 for terminal)
+	linkLat  []int64           // link latency per port
+
+	// down lazily caches Env.DownstreamInput per output port (the environment
+	// is wired after construction, so the cache fills on first use).
+	down    []*buffer.InputBuffer
+	downSet []bool
+
+	// Occupancy masks drive the batched allocator: instead of probing every
+	// VC of every port each allocation iteration, the proposal pass visits
+	// only ports (liveIn) and VCs (headVCs) that actually hold packets, and
+	// the transmit pass only ports with staged output work (xmitLive). The
+	// masks are pure occupancy bookkeeping — skipping an empty port or VC is
+	// exactly what the probing loop would have done, so results are
+	// bit-identical. maskable is false on the (unused in practice) geometries
+	// whose port or VC count exceeds 64; those fall back to full scans.
+	maskable bool
+	liveIn   uint64
+	headVCs  []uint64
+	xmitLive uint64
+
 	inVCRR []int // round-robin pointer over VCs, per input port
 	outRR  []int // round-robin pointer over input ports, per output resource
 	alloc  allocState
@@ -125,24 +151,28 @@ type Router struct {
 	// Step of routers with no pending work.
 	pending int
 
-	// failStamp memoises failed proposals: failStamp[port][vc] records
-	// now+1 when no request could be built for the head of that VC at cycle
-	// `now`. Within a cycle no buffer space is ever freed (credits return
-	// through events between cycles, output/ejection buffers drain after the
-	// last allocation iteration) and no new head can appear (arrivals
-	// enqueue between cycles), so a failed request stays failed for the
-	// remaining allocation iterations of the cycle and need not be rebuilt.
-	// Heads with an unstable routing decision (uncommitted PAR/PB packets)
-	// are never stamped: their decision re-senses occupancy, which does
-	// change as the cycle's grants land.
-	failStamp [][]int64
+	// failStamp memoises failed proposals: failStamp[port*vcStride+vc]
+	// records now+1 when no request could be built for the head of that VC
+	// at cycle `now`. Within a cycle no buffer space is ever freed (credits
+	// return through events between cycles, output/ejection buffers drain
+	// after the last allocation iteration) and no new head can appear
+	// (arrivals enqueue between cycles), so a failed request stays failed
+	// for the remaining allocation iterations of the cycle and need not be
+	// rebuilt. Heads with an unstable routing decision (uncommitted PAR/PB
+	// packets) are never stamped: their decision re-senses occupancy, which
+	// does change as the cycle's grants land.
+	failStamp []int64
 	// portFail is the port-level analogue: a port none of whose VCs could
 	// propose (all of them stampable) is skipped for the rest of the cycle.
 	portFail []int64
-	// plans caches, per input VC, the routing-stable part of the head
-	// packet's request (output port, allowed VC ranges, escape fallback).
-	// Occupancy-dependent checks are re-evaluated every cycle.
-	plans [][]vcPlan
+	// plans caches, per input VC (flat, port*vcStride+vc), the
+	// routing-stable part of the head packet's request (output port, allowed
+	// VC ranges, escape fallback). Occupancy-dependent checks are
+	// re-evaluated every cycle.
+	plans []vcPlan
+	// vcStride is the row stride of failStamp and plans: the maximum VC
+	// count over all input ports.
+	vcStride int
 
 	// vcCand is reusable scratch for selectVC's candidate list.
 	vcCand []core.VCCandidate
@@ -172,16 +202,37 @@ func New(id packet.RouterID, topo topology.Topology, scheme core.Scheme, alg rou
 	r.eject = make([][]*buffer.OutputBuffer, r.numPorts)
 	r.linkBusy = make([]int64, r.numPorts)
 	r.ejBusy = make([][]int64, r.numPorts)
+	r.kinds = make([]topology.PortKind, r.numPorts)
+	r.nbrs = make([]packet.RouterID, r.numPorts)
+	r.nbrPorts = make([]int, r.numPorts)
+	r.linkLat = make([]int64, r.numPorts)
+	r.down = make([]*buffer.InputBuffer, r.numPorts)
+	r.downSet = make([]bool, r.numPorts)
 	r.inVCRR = make([]int, r.numPorts)
 	r.outRR = make([]int, r.numPorts*(1+params.NumClasses))
-	r.failStamp = make([][]int64, r.numPorts)
 	r.portFail = make([]int64, r.numPorts)
-	r.plans = make([][]vcPlan, r.numPorts)
+	r.headVCs = make([]uint64, r.numPorts)
+	r.maskable = r.numPorts <= 64
+	for p := 0; p < r.numPorts; p++ {
+		if n := r.portVCs(topo.PortKind(id, p)); n > r.vcStride {
+			r.vcStride = n
+		}
+	}
+	r.failStamp = make([]int64, r.numPorts*r.vcStride)
+	r.plans = make([]vcPlan, r.numPorts*r.vcStride)
 	for p := 0; p < r.numPorts; p++ {
 		kind := topo.PortKind(id, p)
 		numVCs := r.portVCs(kind)
-		r.failStamp[p] = make([]int64, numVCs)
-		r.plans[p] = make([]vcPlan, numVCs)
+		r.kinds[p] = kind
+		r.linkLat[p] = int64(params.LinkLatency(kind))
+		r.nbrs[p] = packet.InvalidRouter
+		r.nbrPorts[p] = -1
+		if kind != topology.Terminal {
+			r.nbrs[p], r.nbrPorts[p] = topo.Neighbor(id, p)
+		}
+		if numVCs > 64 {
+			r.maskable = false
+		}
 		r.inputs[p] = buffer.NewInputBuffer(params.BufferConfig(kind, numVCs))
 		if kind == topology.Terminal {
 			r.eject[p] = make([]*buffer.OutputBuffer, params.NumClasses)
@@ -204,8 +255,28 @@ func (r *Router) portVCs(kind topology.PortKind) int {
 	return r.scheme.VCs.TotalOf(kind)
 }
 
-// SetEnv wires the router to its environment.
-func (r *Router) SetEnv(env Env) { r.env = env }
+// SetEnv wires the router to its environment and resets the downstream-input
+// cache (tests re-wire routers to fresh environments).
+func (r *Router) SetEnv(env Env) {
+	r.env = env
+	for p := range r.downSet {
+		r.downSet[p] = false
+		r.down[p] = nil
+	}
+}
+
+// downstream returns the input buffer at the far end of an output port,
+// resolving it through the environment once and caching the answer (the
+// wiring is immutable for the lifetime of a network).
+func (r *Router) downstream(port int) *buffer.InputBuffer {
+	if r.downSet[port] {
+		return r.down[port]
+	}
+	b := r.env.DownstreamInput(r.id, port)
+	r.down[port] = b
+	r.downSet[port] = true
+	return b
+}
 
 // ID returns the router identifier.
 func (r *Router) ID() packet.RouterID { return r.id }
@@ -221,6 +292,10 @@ func (r *Router) Input(port int) *buffer.InputBuffer { return r.inputs[port] }
 func (r *Router) EnqueueArrival(port, vc int, pkt *packet.Packet, ready int64, kind packet.RouteKind) {
 	r.inputs[port].Enqueue(vc, pkt, ready, kind)
 	r.pending++
+	if r.maskable {
+		r.headVCs[port] |= 1 << uint(vc)
+		r.liveIn |= 1 << uint(port)
+	}
 }
 
 // Busy reports whether the router holds any packet (and therefore must be
@@ -297,35 +372,54 @@ func (r *Router) allocate(now int64) {
 	st.proposals = st.proposals[:0]
 	st.touched = st.touched[:0]
 
-	// Phase 1: each input port proposes at most one (VC, output) request;
-	// Phase 2 (fused): each output resource keeps the proposal closest to
-	// its round-robin pointer.
-	for p := 0; p < r.numPorts; p++ {
-		if r.portFail[p] == now+1 {
-			continue
+	// Phase 1 (batched): every live input port contributes at most one
+	// (VC, output) proposal built from its cached plan; ports holding no
+	// packets are skipped via the occupancy mask — identical to what probing
+	// them would conclude. Phase 2 (fused): each output resource keeps the
+	// proposal closest to its round-robin pointer.
+	if r.maskable {
+		for m := r.liveIn; m != 0; {
+			p := bits.TrailingZeros64(m)
+			m &^= 1 << uint(p)
+			if r.portFail[p] == now+1 {
+				continue
+			}
+			if req, ok := r.proposeFromPort(now, p); ok {
+				r.propose(st, req)
+			}
 		}
-		req, ok := r.proposeFromPort(now, p)
-		if !ok {
-			continue
-		}
-		idx := len(st.proposals)
-		st.proposals = append(st.proposals, req)
-		key := r.outKey(req)
-		if st.keyGen[key] != st.gen {
-			st.keyGen[key] = st.gen
-			st.keyWinner[key] = idx
-			st.touched = append(st.touched, key)
-			continue
-		}
-		cur := st.proposals[st.keyWinner[key]]
-		if r.rrDistance(key, req.inPort) < r.rrDistance(key, cur.inPort) {
-			st.keyWinner[key] = idx
+	} else {
+		for p := 0; p < r.numPorts; p++ {
+			if r.portFail[p] == now+1 {
+				continue
+			}
+			if req, ok := r.proposeFromPort(now, p); ok {
+				r.propose(st, req)
+			}
 		}
 	}
 	for _, key := range st.touched {
 		winner := st.proposals[st.keyWinner[key]]
 		r.outRR[key] = (winner.inPort + 1) % r.numPorts
 		r.grant(now, winner)
+	}
+}
+
+// propose files one input port's request into the arbitration state, keeping
+// per output resource the proposal closest to its round-robin pointer.
+func (r *Router) propose(st *allocState, req request) {
+	idx := len(st.proposals)
+	st.proposals = append(st.proposals, req)
+	key := r.outKey(req)
+	if st.keyGen[key] != st.gen {
+		st.keyGen[key] = st.gen
+		st.keyWinner[key] = idx
+		st.touched = append(st.touched, key)
+		return
+	}
+	cur := st.proposals[st.keyWinner[key]]
+	if r.rrDistance(key, req.inPort) < r.rrDistance(key, cur.inPort) {
+		st.keyWinner[key] = idx
 	}
 }
 
@@ -389,44 +483,76 @@ type vcPlan struct {
 func (r *Router) proposeFromPort(now int64, p int) (request, bool) {
 	in := r.inputs[p]
 	nvc := in.NumVCs()
-	fails := r.failStamp[p]
-	plans := r.plans[p]
+	fails := r.failStamp[p*r.vcStride : p*r.vcStride+nvc]
+	plans := r.plans[p*r.vcStride : p*r.vcStride+nvc]
 	stampable := true
-	for k := 0; k < nvc; k++ {
-		vc := (r.inVCRR[p] + k) % nvc
-		if fails[vc] == now+1 {
-			// This head already failed earlier this cycle and no space has
-			// been freed since; skip the re-evaluation.
-			continue
+
+	if r.maskable {
+		// Visit only occupied VCs, in the same round-robin order the probing
+		// loop used (start at the RR pointer, wrap around): first the set
+		// bits at or above the pointer, then the set bits below it. Empty
+		// VCs contribute nothing in either formulation.
+		start := r.inVCRR[p]
+		mask := r.headVCs[p]
+		for _, span := range [2]uint64{mask &^ (1<<uint(start) - 1), mask & (1<<uint(start) - 1)} {
+			for span != 0 {
+				vc := bits.TrailingZeros64(span)
+				span &^= 1 << uint(vc)
+				if req, ok, st := r.tryVC(now, in, fails, plans, p, vc, nvc); ok {
+					return req, true
+				} else if !st {
+					stampable = false
+				}
+			}
 		}
-		pkt := in.Head(vc, now)
-		if pkt == nil {
-			// Empty or not-yet-ready heads cannot change within the cycle
-			// (arrivals enqueue between cycles and ready times are fixed).
-			continue
-		}
-		plan := &plans[vc]
-		if plan.pkt != pkt || plan.id != pkt.ID || !plan.stable {
-			r.buildPlan(p, pkt, plan)
-		}
-		req, ok := r.requestFromPlan(plan, p, vc, pkt)
-		if !ok {
-			if plan.stable {
-				fails[vc] = now + 1
-			} else {
+	} else {
+		for k := 0; k < nvc; k++ {
+			vc := (r.inVCRR[p] + k) % nvc
+			if req, ok, st := r.tryVC(now, in, fails, plans, p, vc, nvc); ok {
+				return req, true
+			} else if !st {
 				stampable = false
 			}
-			continue
 		}
-		// Advance the pointer past the requesting VC so other VCs get served
-		// in subsequent iterations even if this one keeps winning.
-		r.inVCRR[p] = (vc + 1) % nvc
-		return req, true
 	}
 	if stampable {
 		r.portFail[p] = now + 1
 	}
 	return request{}, false
+}
+
+// tryVC evaluates the head of one input VC against its cached plan. It
+// returns the request and ok on success; stampable is false when the head's
+// routing decision is adaptive-uncommitted and may legitimately change within
+// the cycle (such heads block the port-level fail stamp).
+func (r *Router) tryVC(now int64, in *buffer.InputBuffer, fails []int64, plans []vcPlan, p, vc, nvc int) (request, bool, bool) {
+	if fails[vc] == now+1 {
+		// This head already failed earlier this cycle and no space has
+		// been freed since; skip the re-evaluation.
+		return request{}, false, true
+	}
+	pkt := in.Head(vc, now)
+	if pkt == nil {
+		// Empty or not-yet-ready heads cannot change within the cycle
+		// (arrivals enqueue between cycles and ready times are fixed).
+		return request{}, false, true
+	}
+	plan := &plans[vc]
+	if plan.pkt != pkt || plan.id != pkt.ID || !plan.stable {
+		r.buildPlan(p, pkt, plan)
+	}
+	req, ok := r.requestFromPlan(plan, p, vc, pkt)
+	if !ok {
+		if plan.stable {
+			fails[vc] = now + 1
+			return request{}, false, true
+		}
+		return request{}, false, false
+	}
+	// Advance the pointer past the requesting VC so other VCs get served
+	// in subsequent iterations even if this one keeps winning.
+	r.inVCRR[p] = (vc + 1) % nvc
+	return req, true, true
 }
 
 // buildPlan resolves routing and VC management for the head packet of an
@@ -474,8 +600,8 @@ func (r *Router) planRange(p int, pkt *packet.Packet, outPort int, revert bool) 
 	if outPort < 0 {
 		return topology.Terminal, 1, 0, false
 	}
-	kind = r.topo.PortKind(r.id, outPort)
-	next, _ := r.topo.Neighbor(r.id, outPort)
+	kind = r.kinds[outPort]
+	next := r.nbrs[outPort]
 	escape := routing.EscapeRemaining(r.topo, next, pkt)
 	planned := escape
 	if !revert && pkt.Route.Kind == packet.Nonminimal && pkt.Route.Phase == packet.PhaseToIntermediate {
@@ -487,7 +613,7 @@ func (r *Router) planRange(p int, pkt *packet.Packet, outPort int, revert bool) 
 	ctx := core.HopContext{
 		Class:        pkt.Class,
 		Kind:         kind,
-		InputKind:    r.topo.PortKind(r.id, p),
+		InputKind:    r.kinds[p],
 		InputVC:      pkt.Route.InputVC,
 		RefPosition:  routing.BaselinePosition(r.topo, pkt),
 		PlannedAfter: planned,
@@ -497,7 +623,7 @@ func (r *Router) planRange(p int, pkt *packet.Packet, outPort int, revert bool) 
 	if vcRange.Empty() {
 		return kind, 1, 0, false
 	}
-	down := r.env.DownstreamInput(r.id, outPort)
+	down := r.downstream(outPort)
 	if down == nil {
 		return kind, 1, 0, vcRange.Safe
 	}
@@ -538,7 +664,7 @@ func (r *Router) requestFromPlan(plan *vcPlan, p, vc int, pkt *packet.Packet) (r
 // selectVC picks one downstream VC with room in [lo, hi] using the scheme's
 // selection function.
 func (r *Router) selectVC(outPort, lo, hi, size int) (int, bool) {
-	down := r.env.DownstreamInput(r.id, outPort)
+	down := r.downstream(outPort)
 	if down == nil {
 		return -1, false
 	}
@@ -560,11 +686,19 @@ func (r *Router) grant(now int64, req request) {
 		panic(fmt.Sprintf("router %d: allocator granted VC %d of port %d but its head changed", r.id, req.inVC, req.inPort))
 	}
 	r.grantCount++
+	if r.maskable {
+		if in.QueueLen(req.inVC) == 0 {
+			r.headVCs[req.inPort] &^= 1 << uint(req.inVC)
+			if r.headVCs[req.inPort] == 0 {
+				r.liveIn &^= 1 << uint(req.inPort)
+			}
+		}
+		r.xmitLive |= 1 << uint(req.outPort)
+	}
 
 	size := pkt.Size
 	transfer := int64((size + r.params.Speedup - 1) / r.params.Speedup)
-	inKind := r.topo.PortKind(r.id, req.inPort)
-	creditDelay := transfer + int64(r.params.LinkLatency(inKind))
+	creditDelay := transfer + r.linkLat[req.inPort]
 	r.env.ScheduleCredit(creditDelay, in, req.inVC, size, resKind)
 
 	if req.terminal {
@@ -572,7 +706,7 @@ func (r *Router) grant(now int64, req request) {
 		return
 	}
 
-	down := r.env.DownstreamInput(r.id, req.outPort)
+	down := r.downstream(req.outPort)
 	if !down.Reserve(req.destVC, size, pkt.Route.Kind) {
 		panic(fmt.Sprintf("router %d: downstream VC %d of port %d lost its credits between check and grant", r.id, req.destVC, req.outPort))
 	}
@@ -593,17 +727,40 @@ func (r *Router) grant(now int64, req request) {
 }
 
 // transmit drains output buffers onto their links and ejection channels onto
-// the terminal links, one packet at a time at one phit per cycle.
+// the terminal links, one packet at a time at one phit per cycle. Only ports
+// with staged packets are visited (in ascending port order, matching the full
+// scan); a port's mask bit is cleared once all its staging buffers drain.
 func (r *Router) transmit(now int64) {
-	for p := 0; p < r.numPorts; p++ {
-		if r.outputs[p] != nil {
-			r.transmitLink(now, p)
-			continue
+	if !r.maskable {
+		for p := 0; p < r.numPorts; p++ {
+			r.transmitPort(now, p)
 		}
-		for c := range r.eject[p] {
-			r.transmitEject(now, p, c)
+		return
+	}
+	for m := r.xmitLive; m != 0; {
+		p := bits.TrailingZeros64(m)
+		m &^= 1 << uint(p)
+		if r.transmitPort(now, p) {
+			r.xmitLive &^= 1 << uint(p)
 		}
 	}
+}
+
+// transmitPort services one port's staging buffers and reports whether they
+// are now empty.
+func (r *Router) transmitPort(now int64, p int) bool {
+	if r.outputs[p] != nil {
+		r.transmitLink(now, p)
+		return r.outputs[p].Len() == 0
+	}
+	empty := true
+	for c := range r.eject[p] {
+		r.transmitEject(now, p, c)
+		if r.eject[p][c].Len() > 0 {
+			empty = false
+		}
+	}
+	return empty
 }
 
 func (r *Router) transmitLink(now int64, p int) {
@@ -617,9 +774,7 @@ func (r *Router) transmitLink(now int64, p int) {
 	r.outputs[p].Pop()
 	r.pending--
 	r.linkBusy[p] = now + int64(pkt.Size)
-	next, nport := r.topo.Neighbor(r.id, p)
-	latency := int64(r.params.LinkLatency(r.topo.PortKind(r.id, p)))
-	r.env.ScheduleArrival(latency+int64(pkt.Size), next, nport, destVC, pkt, kind)
+	r.env.ScheduleArrival(r.linkLat[p]+int64(pkt.Size), r.nbrs[p], r.nbrPorts[p], destVC, pkt, kind)
 }
 
 func (r *Router) transmitEject(now int64, p, c int) {

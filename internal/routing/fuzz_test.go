@@ -1,0 +1,129 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexvc/internal/core"
+	"flexvc/internal/packet"
+	"flexvc/internal/topology"
+)
+
+// FuzzPathValidity fuzzes the routing algorithms end to end on a walked
+// path: for a fuzzed Dragonfly geometry, source/destination pair and
+// algorithm, the route must deliver within the algorithm's declared
+// worst-case hop count, every hop must leave through a non-terminal port,
+// and a sufficiently provisioned VC scheme must offer a non-empty VC range
+// at every hop (for FlexVC and, on safe reference paths, for the baseline).
+func FuzzPathValidity(f *testing.F) {
+	f.Add(uint8(1), uint32(0), uint32(1), int64(1), uint8(0))
+	f.Add(uint8(2), uint32(3), uint32(29), int64(42), uint8(1))
+	f.Add(uint8(3), uint32(100), uint32(7), int64(7), uint8(2))
+	f.Add(uint8(2), uint32(11), uint32(11), int64(99), uint8(1))
+	f.Fuzz(func(t *testing.T, h uint8, srcSel, dstSel uint32, seed int64, algSel uint8) {
+		hh := 1 + int(h)%3
+		topo, err := topology.NewDragonfly(hh, 2*hh, hh)
+		if err != nil {
+			t.Skip()
+		}
+
+		var alg Algorithm
+		switch algSel % 3 {
+		case 0:
+			alg = NewMinimal(topo)
+		case 1:
+			alg = NewValiant(topo)
+		default:
+			// PAR without congestion (zero occupancy probes) degenerates to
+			// MIN, but still exercises its commit state machine.
+			alg = NewProgressive(topo, zeroProbe{}, PARConfig{ThresholdPhits: 1})
+		}
+
+		n := topo.NumRouters()
+		src := packet.RouterID(int(srcSel) % n)
+		dst := packet.RouterID(int(dstSel) % n)
+		srcNode := topo.NodeAt(src, 0)
+		dstNode := topo.NodeAt(dst, 0)
+
+		pkt := packet.New(1, srcNode, dstNode, 8, packet.Request, 0)
+		pkt.SrcRouter = src
+		pkt.DstRouter = dst
+
+		// A VC arrangement that holds the worst-case planned path of any of
+		// the fuzzed algorithms (PAR's Valiant path plus one local hop).
+		need := alg.MaxPlannedHops()
+		vcs := core.SingleClass(need.Local, need.Global)
+		flex := core.NewManager(core.Scheme{Policy: core.FlexVC, VCs: vcs, Selection: core.JSQ})
+		base := core.NewManager(core.Scheme{Policy: core.Baseline, VCs: vcs, Selection: core.JSQ})
+
+		rng := rand.New(rand.NewSource(seed))
+		maxHops := need.Total()
+		cur := src
+		lastKind := topology.Terminal // the packet starts in an injection queue
+		for hop := 0; ; hop++ {
+			if hop > maxHops {
+				t.Fatalf("%v route %d->%d exceeded MaxPlannedHops %+v (route state %+v)",
+					alg.Kind(), src, dst, need, pkt.Route)
+			}
+			dec := alg.Route(cur, pkt, rng)
+			if dec.Deliver {
+				if cur != dst {
+					t.Fatalf("%v delivered at router %d, destination is %d", alg.Kind(), cur, dst)
+				}
+				break
+			}
+			port := dec.OutPort
+			if port < 0 || port >= topo.Radix() || topo.PortKind(cur, port) == topology.Terminal {
+				t.Fatalf("%v proposed invalid port %d at router %d (dst %d)", alg.Kind(), port, cur, dst)
+			}
+			kind := topo.PortKind(cur, port)
+			next, _ := topo.Neighbor(cur, port)
+
+			// The per-hop VC range must never be empty for a scheme
+			// provisioned for the algorithm's worst case.
+			ctx := core.HopContext{
+				Class:        pkt.Class,
+				Kind:         kind,
+				InputKind:    topology.Terminal,
+				InputVC:      -1,
+				RefPosition:  BaselinePosition(topo, pkt),
+				PlannedAfter: PlannedRemaining(topo, next, pkt),
+				EscapeAfter:  EscapeRemaining(topo, next, pkt),
+			}
+			if hop > 0 {
+				ctx.InputKind = lastKind
+				ctx.InputVC = pkt.Route.InputVC
+			}
+			fr := flex.AllowedVCs(ctx)
+			if fr.Empty() {
+				t.Fatalf("%v: empty FlexVC range at hop %d of %d->%d (ctx %+v, route %+v)",
+					alg.Kind(), hop, src, dst, ctx, pkt.Route)
+			}
+			br := base.AllowedVCs(ctx)
+			if br.Empty() {
+				t.Fatalf("%v: empty baseline range at hop %d of %d->%d (refpos %+v, route %+v)",
+					alg.Kind(), hop, src, dst, ctx.RefPosition, pkt.Route)
+			}
+			if fr.Lo < 0 || fr.Hi >= vcs.TotalOf(kind) || br.Hi >= vcs.TotalOf(kind) {
+				t.Fatalf("VC range outside the configured arrangement: flex %+v base %+v", fr, br)
+			}
+
+			// Advance the packet the way the router's grant path would.
+			pkt.Route.InputVC = fr.Lo
+			if kind == topology.Global {
+				pkt.Route.GlobalHops++
+			} else {
+				pkt.Route.LocalHops++
+			}
+			pkt.Route.Hops++
+			lastKind = kind
+			cur = next
+		}
+	})
+}
+
+// zeroProbe reports empty buffers everywhere, so PAR never diverts.
+type zeroProbe struct{}
+
+func (zeroProbe) OutputOccupancy(packet.RouterID, int, int, bool) int { return 0 }
+func (zeroProbe) OutputCapacity(packet.RouterID, int, int) int       { return 64 }

@@ -5,7 +5,6 @@ import (
 
 	"flexvc/internal/buffer"
 	"flexvc/internal/packet"
-	"flexvc/internal/topology"
 )
 
 // eventKind tags the entries of the event wheel.
@@ -82,13 +81,10 @@ func (w *eventWheel) pending() int {
 
 // --- router.Env implementation -------------------------------------------
 
-// DownstreamInput implements router.Env.
+// DownstreamInput implements router.Env. The per-(router, port) resolution is
+// cached at construction (nil for terminal ports).
 func (n *Network) DownstreamInput(r packet.RouterID, port int) *buffer.InputBuffer {
-	if n.topo.PortKind(r, port) == topology.Terminal {
-		return nil
-	}
-	nbr, nport := n.topo.Neighbor(r, port)
-	return n.routers[nbr].Input(nport)
+	return n.downInput[r][port]
 }
 
 // ScheduleArrival implements router.Env.

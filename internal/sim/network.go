@@ -50,6 +50,11 @@ type Network struct {
 
 	// activeRouter flags routers holding packets; Step skips the others.
 	activeRouter []bool
+	// downInput caches, per (router, output port), the input buffer at the
+	// far end of the link (nil for terminal ports). DownstreamInput sits on
+	// the congestion-probe hot path — Piggyback polls every global port of
+	// every router each cycle — so the neighbor resolution is done once.
+	downInput [][]*buffer.InputBuffer
 	// pendingNodes lists nodes with queued NIC work, so the injection pass
 	// does not arbitrate at every node every cycle. Order is irrelevant:
 	// injection at a node only touches that node's own terminal port.
@@ -73,6 +78,15 @@ func New(cfg config.Config) (*Network, error) {
 	topo, err := cfg.BuildTopology()
 	if err != nil {
 		return nil, err
+	}
+	// Precompute the route tables. PrecomputeTables follows the
+	// cfg.RouteTableBytes convention (negative disables, 0 selects
+	// topology.DefaultTableBudget): the per-pair tables are memory-gated, so
+	// above the budget the topology transparently falls back to on-the-fly
+	// computation — "paper"-scale networks stay within memory while small
+	// and medium instances answer every routing query from flat arrays.
+	if pc, ok := topo.(topology.Precomputer); ok {
+		pc.PrecomputeTables(cfg.RouteTableBytes)
 	}
 	n := &Network{cfg: cfg, topo: topo, scheme: cfg.Scheme, pool: &packet.Pool{}}
 
@@ -117,6 +131,19 @@ func New(cfg config.Config) (*Network, error) {
 		}
 		rt.SetEnv(n)
 		n.routers[r] = rt
+	}
+
+	n.downInput = make([][]*buffer.InputBuffer, topo.NumRouters())
+	for r := range n.downInput {
+		row := make([]*buffer.InputBuffer, topo.Radix())
+		for p := range row {
+			if topo.PortKind(packet.RouterID(r), p) == topology.Terminal {
+				continue
+			}
+			nbr, nport := topo.Neighbor(packet.RouterID(r), p)
+			row[p] = n.routers[nbr].Input(nport)
+		}
+		n.downInput[r] = row
 	}
 
 	n.nodes = make([]nodeState, topo.NumNodes())

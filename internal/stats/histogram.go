@@ -1,0 +1,119 @@
+package stats
+
+import "math/bits"
+
+// Histogram is a fixed-size log-linear latency histogram, replacing the
+// unbounded per-sample buffer the collector used to keep: recording a sample
+// is O(1), memory is constant (histBuckets counters) no matter how long the
+// measurement window runs, and quantiles are recovered from the bucket counts
+// within a documented error bound.
+//
+// Bucket layout (the HDR-histogram scheme): values below histSubCount (128)
+// get one bucket each, so small latencies are represented exactly. Above
+// that, each power-of-two octave is split into histSubCount/2 linear
+// sub-buckets, so the bucket width never exceeds 1/64 of the bucket's lower
+// bound. Quantiles report the bucket midpoint, which bounds the relative
+// error by half a bucket width: see PercentileErrorBound. Values beyond the
+// last octave (≈ 2^41 cycles, far past any plausible simulated latency) clamp
+// into the final bucket.
+type Histogram struct {
+	counts [histBuckets]int64
+	total  int64
+}
+
+const (
+	histSubBits  = 7
+	histSubCount = 1 << histSubBits // 128: exact region, one bucket per value
+	histHalf     = histSubCount / 2 // sub-buckets per octave above the exact region
+	histOctaves  = 34               // octaves above the exact region
+	histBuckets  = histSubCount + histOctaves*histHalf
+)
+
+// PercentileErrorBound is the worst-case relative error of a quantile
+// reported by the Histogram against the exact-sample quantile: half of the
+// maximum bucket width (1/64 of the bucket's lower bound) relative to the
+// value, i.e. 1/128 ≈ 0.8%. Latencies below 128 cycles are represented
+// exactly (zero error). The accuracy tests in histogram_test.go verify the
+// bound on adversarial distributions.
+const PercentileErrorBound = 1.0 / 128
+
+// bucketIndex maps a sample to its bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSubCount {
+		return int(v)
+	}
+	shift := bits.Len64(uint64(v)) - histSubBits // >= 1
+	if shift > histOctaves {
+		return histBuckets - 1
+	}
+	return histSubCount + (shift-1)*histHalf + int(v>>uint(shift)) - histHalf
+}
+
+// bucketMid returns the representative value of a bucket: the midpoint of the
+// value range mapping to it (the exact value in the exact region).
+func bucketMid(i int) float64 {
+	if i < histSubCount {
+		return float64(i)
+	}
+	shift := (i-histSubCount)/histHalf + 1
+	sub := (i-histSubCount)%histHalf + histHalf
+	lo := int64(sub) << uint(shift)
+	width := int64(1) << uint(shift)
+	return float64(lo) + float64(width-1)/2
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	h.counts[bucketIndex(v)]++
+	h.total++
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Quantile returns the q-quantile (q in [0,1]) of the recorded samples,
+// matching the convention of the exact-sample computation it replaces: the
+// value at fractional rank q*(n-1), linearly interpolated between the two
+// neighbouring ranks. Each rank's value is the midpoint of its bucket, which
+// is what bounds the error (see PercentileErrorBound). It returns 0 when the
+// histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.total
+	if n == 0 {
+		return 0
+	}
+	idx := q * float64(n-1)
+	lo := int64(idx)
+	frac := idx - float64(lo)
+	vlo, bkt, cum := h.valueAtRank(lo, 0, 0)
+	if frac == 0 {
+		return vlo
+	}
+	vhi, _, _ := h.valueAtRank(lo+1, bkt, cum)
+	return vlo*(1-frac) + vhi*frac
+}
+
+// valueAtRank returns the representative value of the sample at the given
+// 0-based rank, resuming the cumulative walk from (startBucket, startCum) so
+// consecutive ranks don't rescan the array. It also returns the bucket and
+// the cumulative count before it, for resumption.
+func (h *Histogram) valueAtRank(rank int64, startBucket int, startCum int64) (float64, int, int64) {
+	cum := startCum
+	for i := startBucket; i < histBuckets; i++ {
+		if cum+h.counts[i] > rank {
+			return bucketMid(i), i, cum
+		}
+		cum += h.counts[i]
+	}
+	// Unreachable for rank < total; be defensive.
+	return bucketMid(histBuckets - 1), histBuckets - 1, cum
+}
+
+// Reset clears all counts.
+func (h *Histogram) Reset() {
+	h.counts = [histBuckets]int64{}
+	h.total = 0
+}

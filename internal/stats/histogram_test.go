@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flexvc/internal/packet"
+)
+
+// checkQuantiles records samples into a histogram and requires every checked
+// quantile to sit within PercentileErrorBound (relative) of the exact-sample
+// quantile. An absolute slack of half a cycle covers the interpolation
+// convention in the exact region.
+func checkQuantiles(t *testing.T, name string, samples []int64) {
+	t.Helper()
+	var h Histogram
+	exact := make([]float64, len(samples))
+	for i, s := range samples {
+		h.Record(s)
+		exact[i] = float64(s)
+	}
+	if h.Total() != int64(len(samples)) {
+		t.Fatalf("%s: recorded %d of %d samples", name, h.Total(), len(samples))
+	}
+	for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1} {
+		got := h.Quantile(q)
+		want := percentile(exact, q)
+		tol := want*PercentileErrorBound + 0.5
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s: q%.3f = %.2f, exact %.2f (tolerance %.2f)", name, q, got, want, tol)
+		}
+	}
+}
+
+// TestHistogramAccuracyAdversarial drives the documented error bound on the
+// distributions most likely to break a bucketed quantile estimator: constant
+// (all mass in one bucket), bimodal (both modes far apart, one crossing a
+// bucket boundary), heavy-tailed (Pareto-like, long upper tail), uniform, and
+// exponential-ish latencies spanning several octaves.
+func TestHistogramAccuracyAdversarial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+
+	constant := make([]int64, 10000)
+	for i := range constant {
+		constant[i] = 977 // sits inside a wide bucket, not on its edge
+	}
+	checkQuantiles(t, "constant", constant)
+
+	bimodal := make([]int64, 20000)
+	for i := range bimodal {
+		if i%2 == 0 {
+			bimodal[i] = 40 + rng.Int63n(20) // short mode, exact region
+		} else {
+			bimodal[i] = 90000 + rng.Int63n(5000) // long mode, wide buckets
+		}
+	}
+	checkQuantiles(t, "bimodal", bimodal)
+
+	heavyTail := make([]int64, 30000)
+	for i := range heavyTail {
+		// Pareto(alpha≈1.2) scaled to start near 60 cycles: a tail that
+		// spans many octaves, so the high quantiles land in coarse buckets.
+		u := rng.Float64()
+		if u < 1e-9 {
+			u = 1e-9
+		}
+		heavyTail[i] = int64(60 / math.Pow(u, 1/1.2))
+	}
+	checkQuantiles(t, "heavy-tail", heavyTail)
+
+	uniform := make([]int64, 25000)
+	for i := range uniform {
+		uniform[i] = rng.Int63n(1 << 20)
+	}
+	checkQuantiles(t, "uniform", uniform)
+
+	expo := make([]int64, 25000)
+	for i := range expo {
+		expo[i] = int64(120 * rng.ExpFloat64())
+	}
+	checkQuantiles(t, "exponential", expo)
+}
+
+// TestHistogramExactRegion pins the exactness guarantee: for integer samples
+// below 128 cycles the histogram quantiles equal the exact-sample quantiles
+// bit for bit (same fractional-rank interpolation).
+func TestHistogramExactRegion(t *testing.T) {
+	var h Histogram
+	exact := make([]float64, 0, 100)
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i)
+		exact = append(exact, float64(i))
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.947, 0.99, 1} {
+		if got, want := h.Quantile(q), percentile(exact, q); got != want {
+			t.Errorf("q%.3f = %v, want exactly %v", q, got, want)
+		}
+	}
+}
+
+// TestHistogramEdgeCases covers empty, single-sample, negative (clamped to
+// zero) and beyond-range (clamped into the top bucket) inputs.
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should report 0")
+	}
+	h.Record(7)
+	if h.Quantile(0) != 7 || h.Quantile(1) != 7 {
+		t.Error("single-sample quantiles should be the sample")
+	}
+	h.Reset()
+	if h.Total() != 0 || h.Quantile(0.99) != 0 {
+		t.Error("reset did not clear the histogram")
+	}
+	h.Record(-5) // clamps to 0
+	if h.Quantile(0.5) != 0 {
+		t.Error("negative samples should clamp to zero")
+	}
+	h.Reset()
+	huge := int64(1) << 60 // beyond the last octave: clamps into the top bucket
+	h.Record(huge)
+	if got := h.Quantile(1); got <= 0 || got > float64(huge) {
+		t.Errorf("out-of-range sample mapped to %v", got)
+	}
+}
+
+// TestHistogramBucketInvariants checks the indexing arithmetic across octave
+// boundaries: indexes are monotonic, within range, and the midpoint of a
+// bucket maps back to the same bucket.
+func TestHistogramBucketInvariants(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 63, 64, 126, 127, 128, 129, 191, 255, 256, 257,
+		511, 512, 1023, 1024, 65535, 65536, 1 << 20, 1<<41 - 1, 1 << 41, 1 << 50} {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		if i < prev {
+			t.Fatalf("bucketIndex not monotonic at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+		if i < histBuckets-1 {
+			mid := int64(bucketMid(i))
+			if got := bucketIndex(mid); got != i {
+				t.Errorf("midpoint of bucket %d (value %d) maps to bucket %d", i, mid, got)
+			}
+		}
+	}
+}
+
+// TestCollectorMemoryBounded is the bounded-collector guarantee: recording a
+// delivery inside the measurement window allocates nothing, no matter how
+// many samples have been recorded, so a long measurement window cannot grow
+// the collector.
+func TestCollectorMemoryBounded(t *testing.T) {
+	c := NewCollector(16, 0, 1<<40)
+	p := packet.New(1, 0, 1, 8, packet.Request, 0)
+	p.InjectTime = 1
+	now := int64(10)
+	// Warm up, then require zero allocations per delivery.
+	for i := 0; i < 1000; i++ {
+		p.RecvTime = now
+		c.Delivered(p, now)
+		now += 13
+	}
+	allocs := testing.AllocsPerRun(10000, func() {
+		p.RecvTime = now
+		c.Delivered(p, now)
+		now += 7919 // drift the latency so many buckets are exercised
+	})
+	if allocs != 0 {
+		t.Fatalf("Delivered allocates %.1f times per call; collector memory is not bounded", allocs)
+	}
+	res := c.Summarize(1, now, false)
+	if res.DeliveredPackets == 0 || res.P99 == 0 {
+		t.Fatal("summary lost the recorded samples")
+	}
+}

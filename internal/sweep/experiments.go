@@ -46,23 +46,27 @@ func (r *Report) Render() string {
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Options) (*Report, error)
+	// Analytic experiments are computed combinatorially (the paper's route
+	// classification tables); everything else runs simulations and therefore
+	// carries measured latencies subject to the histogram error bound.
+	Analytic bool
+	Run      func(Options) (*Report, error)
 }
 
 // Registry returns every experiment, keyed by ID.
 func Registry() map[string]Experiment {
 	exps := []Experiment{
-		{"table1", "Allowed paths using FlexVC in a generic diameter-2 network", runTable("table1", core.TableI)},
-		{"table2", "FlexVC with protocol deadlock in a generic diameter-2 network", runTable("table2", core.TableII)},
-		{"table3", "FlexVC in a Dragonfly (local/global VCs)", runTable("table3", core.TableIII)},
-		{"table4", "FlexVC with protocol deadlock in a Dragonfly", runTable("table4", core.TableIV)},
-		{"fig5", "Latency and throughput under UN/BURSTY-UN/ADV, oblivious routing", runFig5},
-		{"fig6", "Maximum throughput vs buffer capacity per port, oblivious routing", runFig6},
-		{"fig7", "Latency and throughput with request-reply traffic, oblivious routing", runFig7},
-		{"fig8", "Request-reply traffic with Piggyback source-adaptive routing", runFig8},
-		{"fig9", "Throughput at full load vs VC selection function (UN request-reply)", runFig9},
-		{"fig10", "DAMQ private-reservation sweep under UN traffic with MIN routing", runFig10},
-		{"fig11", "Maximum throughput vs buffer capacity without router speedup", runFig11},
+		{"table1", "Allowed paths using FlexVC in a generic diameter-2 network", true, runTable("table1", core.TableI)},
+		{"table2", "FlexVC with protocol deadlock in a generic diameter-2 network", true, runTable("table2", core.TableII)},
+		{"table3", "FlexVC in a Dragonfly (local/global VCs)", true, runTable("table3", core.TableIII)},
+		{"table4", "FlexVC with protocol deadlock in a Dragonfly", true, runTable("table4", core.TableIV)},
+		{"fig5", "Latency and throughput under UN/BURSTY-UN/ADV, oblivious routing", false, runFig5},
+		{"fig6", "Maximum throughput vs buffer capacity per port, oblivious routing", false, runFig6},
+		{"fig7", "Latency and throughput with request-reply traffic, oblivious routing", false, runFig7},
+		{"fig8", "Request-reply traffic with Piggyback source-adaptive routing", false, runFig8},
+		{"fig9", "Throughput at full load vs VC selection function (UN request-reply)", false, runFig9},
+		{"fig10", "DAMQ private-reservation sweep under UN traffic with MIN routing", false, runFig10},
+		{"fig11", "Maximum throughput vs buffer capacity without router speedup", false, runFig11},
 	}
 	m := make(map[string]Experiment, len(exps))
 	for _, e := range exps {

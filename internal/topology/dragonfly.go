@@ -37,6 +37,10 @@ type Dragonfly struct {
 	numRouters int
 	numNodes   int
 	radix      int
+
+	// tables holds the precomputed route tables once PrecomputeTables has
+	// run; nil means every query is computed on the fly. See routetable.go.
+	tables *routeTables
 }
 
 // NewDragonfly builds a dragonfly with p nodes per router, a routers per
@@ -176,6 +180,9 @@ func (d *Dragonfly) GlobalPortToGroup(g, dg int) (pos, port int) {
 
 // Neighbor implements Topology.
 func (d *Dragonfly) Neighbor(r packet.RouterID, p int) (packet.RouterID, int) {
+	if t := d.tables; t != nil && p >= d.P {
+		return t.neighbor(r, p)
+	}
 	g := d.GroupOf(r)
 	pos := d.PosInGroup(r)
 	switch d.PortKind(r, p) {
@@ -205,6 +212,9 @@ func (d *Dragonfly) Neighbor(r packet.RouterID, p int) (packet.RouterID, int) {
 // distance is shorter (two global hops through a third group), but such
 // paths are not used by MIN routing and are treated as non-minimal.
 func (d *Dragonfly) MinimalHops(from, to packet.RouterID) HopCount {
+	if t := d.tables; t != nil && t.minHops != nil {
+		return unpackHops(t.minHops[int(from)*t.n+int(to)])
+	}
 	if from == to {
 		return HopCount{}
 	}
@@ -227,6 +237,9 @@ func (d *Dragonfly) MinimalHops(from, to packet.RouterID) HopCount {
 
 // NextMinimalPort implements Topology.
 func (d *Dragonfly) NextMinimalPort(from, to packet.RouterID) int {
+	if t := d.tables; t != nil && t.minPort != nil {
+		return int(t.minPort[int(from)*t.n+int(to)])
+	}
 	if from == to {
 		return -1
 	}
@@ -266,6 +279,10 @@ func (d *Dragonfly) MaxValiantHops() HopCount {
 // Source-adaptive routing (Piggyback) uses this to look up the remotely
 // sensed saturation state of the minimal global link.
 func (d *Dragonfly) MinimalGlobalLink(fromGroup, toGroup int) (router packet.RouterID, port int, ok bool) {
+	if t := d.tables; t != nil && t.glRouter != nil {
+		i := fromGroup*d.numGroups + toGroup
+		return packet.RouterID(t.glRouter[i]), int(t.glPort[i]), fromGroup != toGroup
+	}
 	if fromGroup == toGroup {
 		return packet.InvalidRouter, -1, false
 	}

@@ -25,6 +25,10 @@ type FlattenedButterfly2D struct {
 	numRouters int
 	numNodes   int
 	radix      int
+
+	// tables holds the precomputed route tables once PrecomputeTables has
+	// run; nil means every query is computed on the fly. See routetable.go.
+	tables *routeTables
 }
 
 // NewFlattenedButterfly2D builds a K×K flattened butterfly with p nodes per
@@ -121,6 +125,9 @@ func (f *FlattenedButterfly2D) colPortTo(fromRow, tr int) int {
 
 // Neighbor implements Topology.
 func (f *FlattenedButterfly2D) Neighbor(r packet.RouterID, p int) (packet.RouterID, int) {
+	if t := f.tables; t != nil && p >= f.P {
+		return t.neighbor(r, p)
+	}
 	row, col := f.RowCol(r)
 	switch {
 	case p < f.P:
@@ -147,6 +154,9 @@ func (f *FlattenedButterfly2D) Neighbor(r packet.RouterID, p int) (packet.Router
 // MinimalHops implements Topology. Minimal paths correct the row and the
 // column, in either order: 0, 1 or 2 hops.
 func (f *FlattenedButterfly2D) MinimalHops(from, to packet.RouterID) HopCount {
+	if t := f.tables; t != nil && t.minHops != nil {
+		return unpackHops(t.minHops[int(from)*t.n+int(to)])
+	}
 	fr, fc := f.RowCol(from)
 	tr, tc := f.RowCol(to)
 	n := 0
@@ -163,6 +173,9 @@ func (f *FlattenedButterfly2D) MinimalHops(from, to packet.RouterID) HopCount {
 // is corrected first (a deterministic but arbitrary choice; adaptive variants
 // may override it).
 func (f *FlattenedButterfly2D) NextMinimalPort(from, to packet.RouterID) int {
+	if t := f.tables; t != nil && t.minPort != nil {
+		return int(t.minPort[int(from)*t.n+int(to)])
+	}
 	fr, fc := f.RowCol(from)
 	tr, tc := f.RowCol(to)
 	switch {

@@ -89,6 +89,9 @@ func MinimalPathSeq(t Topology, from, to packet.RouterID) PathSeq {
 
 // dragonflyMinimalSeq builds the l-g-l style sequence without walking links.
 func (d *Dragonfly) MinimalPathSeq(from, to packet.RouterID) PathSeq {
+	if t := d.tables; t != nil && t.minSeq != nil {
+		return t.minSeq[int(from)*t.n+int(to)]
+	}
 	var s PathSeq
 	if from == to {
 		return s
@@ -113,6 +116,9 @@ func (d *Dragonfly) MinimalPathSeq(from, to packet.RouterID) PathSeq {
 // MinimalPathSeq builds the flat (all-Local) sequence of a flattened
 // butterfly minimal path.
 func (f *FlattenedButterfly2D) MinimalPathSeq(from, to packet.RouterID) PathSeq {
+	if t := f.tables; t != nil && t.minSeq != nil {
+		return t.minSeq[int(from)*t.n+int(to)]
+	}
 	var s PathSeq
 	for i := 0; i < f.MinimalHops(from, to).Local; i++ {
 		s.Push(Local)

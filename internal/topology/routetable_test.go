@@ -1,0 +1,202 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexvc/internal/packet"
+)
+
+// tableTopologies returns matching (fresh, precomputed) topology pairs for
+// every supported topology shape and experiment scale. The fresh instance
+// answers every query on the fly; the precomputed one through its tables.
+func tableTopologies(t *testing.T) []struct {
+	name         string
+	plain, fast  Topology
+	wantPair     bool
+	groupedPlain *Dragonfly
+	groupedFast  *Dragonfly
+} {
+	t.Helper()
+	var out []struct {
+		name         string
+		plain, fast  Topology
+		wantPair     bool
+		groupedPlain *Dragonfly
+		groupedFast  *Dragonfly
+	}
+	dfly := func(name string, p, a, h, budget int, wantPair bool) {
+		plain, err := NewDragonfly(p, a, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := NewDragonfly(p, a, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fast.PrecomputeTables(budget); got != wantPair {
+			t.Fatalf("%s: PrecomputeTables(%d) = %v, want %v", name, budget, got, wantPair)
+		}
+		out = append(out, struct {
+			name         string
+			plain, fast  Topology
+			wantPair     bool
+			groupedPlain *Dragonfly
+			groupedFast  *Dragonfly
+		}{name, plain, fast, wantPair, plain, fast})
+	}
+	fbfly := func(name string, k, p, budget int, wantPair bool) {
+		plain, err := NewFlattenedButterfly2D(k, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := NewFlattenedButterfly2D(k, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fast.PrecomputeTables(budget); got != wantPair {
+			t.Fatalf("%s: PrecomputeTables(%d) = %v, want %v", name, budget, got, wantPair)
+		}
+		out = append(out, struct {
+			name         string
+			plain, fast  Topology
+			wantPair     bool
+			groupedPlain *Dragonfly
+			groupedFast  *Dragonfly
+		}{name, plain, fast, wantPair, nil, nil})
+	}
+
+	dfly("dragonfly-tiny", 1, 2, 1, 0, true)
+	dfly("dragonfly-small", 2, 4, 2, 0, true)
+	dfly("dragonfly-medium", 4, 8, 4, 0, true)
+	// Gated: a 1-byte budget rejects the pair tables, so only the per-port
+	// tables are active and pair queries fall back to the on-the-fly path.
+	dfly("dragonfly-small-gated", 2, 4, 2, 1, false)
+	fbfly("fbfly-4x4", 4, 2, 0, true)
+	fbfly("fbfly-8x8", 8, 8, 0, true)
+	fbfly("fbfly-gated", 4, 2, 1, false)
+	return out
+}
+
+// TestRouteTableEquivalence is the table-vs-on-the-fly equivalence property:
+// for every topology shape and scale, every routing query answered through
+// the precomputed tables must be bit-identical to the on-the-fly computation.
+// Pairs are checked exhaustively below 100 routers and by random sampling
+// above.
+func TestRouteTableEquivalence(t *testing.T) {
+	for _, tc := range tableTopologies(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			plain, fast := tc.plain, tc.fast
+			n := plain.NumRouters()
+			rng := rand.New(rand.NewSource(7))
+
+			pairs := make([][2]packet.RouterID, 0, n*n)
+			if n <= 100 {
+				for from := 0; from < n; from++ {
+					for to := 0; to < n; to++ {
+						pairs = append(pairs, [2]packet.RouterID{packet.RouterID(from), packet.RouterID(to)})
+					}
+				}
+			} else {
+				for i := 0; i < 20000; i++ {
+					pairs = append(pairs, [2]packet.RouterID{
+						packet.RouterID(rng.Intn(n)), packet.RouterID(rng.Intn(n)),
+					})
+				}
+			}
+
+			for _, pr := range pairs {
+				from, to := pr[0], pr[1]
+				if got, want := fast.NextMinimalPort(from, to), plain.NextMinimalPort(from, to); got != want {
+					t.Fatalf("NextMinimalPort(%d,%d) = %d, want %d", from, to, got, want)
+				}
+				if got, want := fast.MinimalHops(from, to), plain.MinimalHops(from, to); got != want {
+					t.Fatalf("MinimalHops(%d,%d) = %+v, want %+v", from, to, got, want)
+				}
+				if got, want := MinimalSeq(fast, from, to), MinimalSeq(plain, from, to); got != want {
+					t.Fatalf("MinimalSeq(%d,%d) differs", from, to)
+				}
+			}
+
+			for r := 0; r < n; r++ {
+				rid := packet.RouterID(r)
+				for p := 0; p < plain.Radix(); p++ {
+					if got, want := fast.PortKind(rid, p), plain.PortKind(rid, p); got != want {
+						t.Fatalf("PortKind(%d,%d) = %v, want %v", r, p, got, want)
+					}
+					if plain.PortKind(rid, p) == Terminal {
+						continue
+					}
+					gr, gp := fast.Neighbor(rid, p)
+					wr, wp := plain.Neighbor(rid, p)
+					if gr != wr || gp != wp {
+						t.Fatalf("Neighbor(%d,%d) = (%d,%d), want (%d,%d)", r, p, gr, gp, wr, wp)
+					}
+				}
+			}
+
+			if tc.groupedPlain != nil {
+				g := tc.groupedPlain.NumGroups()
+				for fg := 0; fg < g; fg++ {
+					for tg := 0; tg < g; tg++ {
+						gr, gp, gok := tc.groupedFast.MinimalGlobalLink(fg, tg)
+						wr, wp, wok := tc.groupedPlain.MinimalGlobalLink(fg, tg)
+						if gr != wr || gp != wp || gok != wok {
+							t.Fatalf("MinimalGlobalLink(%d,%d) = (%d,%d,%v), want (%d,%d,%v)",
+								fg, tg, gr, gp, gok, wr, wp, wok)
+						}
+					}
+				}
+			}
+
+			if err := Validate(fast); err != nil {
+				t.Fatalf("precomputed topology fails validation: %v", err)
+			}
+		})
+	}
+}
+
+// TestRouteTableMemoryGate pins the gate arithmetic: the paper-scale
+// Dragonfly must be rejected by the default budget while small and medium
+// scales are admitted, and re-running PrecomputeTables with a different
+// budget installs or removes the pair tables accordingly.
+func TestRouteTableMemoryGate(t *testing.T) {
+	paper, err := NewBalancedDragonfly(8) // 2,064 routers
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paper.PrecomputeTables(0) {
+		t.Fatalf("paper-scale pair tables (%d routers) must not fit the default budget", paper.NumRouters())
+	}
+	if paper.tables == nil || paper.tables.nbrRouter == nil {
+		t.Fatal("per-port tables must be built even when the pair tables are gated")
+	}
+	// A budget large enough for the pair tables admits them.
+	need := paper.NumRouters() * paper.NumRouters() * pairEntryBytes
+	if !paper.PrecomputeTables(need) {
+		t.Fatalf("budget of %d bytes should admit the pair tables", need)
+	}
+	// A negative budget disables precomputation entirely (the
+	// config.RouteTableBytes convention), removing installed tables.
+	if paper.PrecomputeTables(-1) {
+		t.Fatal("negative budget must not install pair tables")
+	}
+	if paper.tables != nil {
+		t.Fatal("negative budget must remove previously installed tables")
+	}
+
+	small, err := NewDragonfly(2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !small.PrecomputeTables(0) {
+		t.Fatal("small-scale pair tables must fit the default budget")
+	}
+	medium, err := NewDragonfly(4, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !medium.PrecomputeTables(0) {
+		t.Fatal("medium-scale pair tables must fit the default budget")
+	}
+}
