@@ -1,0 +1,63 @@
+# Development and CI entry points. CI (.github/workflows) calls these same
+# targets so a green `make ci` locally predicts a green PR.
+
+GO ?= go
+
+# Benchmarks gated by the regression gate (cmd/benchgate): the end-to-end
+# smoke sweep plus the cheapest hot-path microbenchmarks. ns/op is compared
+# against BENCH_baseline.json with the tolerance recorded there, taking the
+# best of BENCH_COUNT repetitions; any allocs/op increase fails outright
+# (allocation counts are deterministic and machine-independent). The
+# committed tolerance is 40%: wide enough to absorb the per-core speed
+# spread between the machine that recorded the baseline and shared CI
+# runners, tight enough to catch a real hot-path slowdown.
+BENCH_GATE_PAT  := SmokeSweep|AllowedVCs|RouterStep|InputBufferCycle
+BENCH_GATE_PKGS := . ./internal/router ./internal/buffer
+BENCH_COUNT     ?= 3
+
+.PHONY: build test race lint bench-check bench-baseline ci nightly-sweep
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race: build
+	$(GO) test -race ./...
+
+lint:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt -w needed on:"; echo "$$fmt"; exit 1; fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping (CI runs it)"; fi
+
+# Fail on benchmark regressions against the committed baseline. The bench
+# output goes through a file, not a pipe, so a go-test failure fails the
+# target even after the gated result lines were printed (sh has no pipefail).
+# Caveat: ns/op baselines are hardware-specific — after a runner-class change
+# (or when the gate flags every benchmark at once on an untouched tree),
+# refresh the baseline on the hardware CI actually uses.
+bench-check:
+	$(GO) test -run xxx -bench '$(BENCH_GATE_PAT)' -benchmem -count $(BENCH_COUNT) $(BENCH_GATE_PKGS) > bench-gate.out
+	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json < bench-gate.out
+	@rm -f bench-gate.out
+
+# Intentionally refresh the baseline (commit the result together with the
+# change that justifies it). Uses more repetitions for a steadier floor.
+bench-baseline:
+	$(GO) test -run xxx -bench '$(BENCH_GATE_PAT)' -benchmem -count 5 $(BENCH_GATE_PKGS) > bench-gate.out
+	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -update -tolerance 40 < bench-gate.out
+	@rm -f bench-gate.out
+
+ci: lint test race bench-check
+
+# The nightly sweep: a small-scale fig5 run through the checkpointed runner
+# (resumable; results land in $(RESULTS_DIR)), rendered and diffed against
+# the committed report so result drift fails loudly.
+RESULTS_DIR ?= results/nightly
+nightly-sweep:
+	$(GO) run ./cmd/figures run -exp fig5 -scale small -seeds 2 -results $(RESULTS_DIR)
+	$(GO) run ./cmd/figures render -exp fig5 -results $(RESULTS_DIR) -out $(RESULTS_DIR)/fig5.md
+	diff experiments/fig5-small/report.md $(RESULTS_DIR)/fig5.md

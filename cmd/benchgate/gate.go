@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Stat is the reduced measurement of one benchmark: the best observation
+// across the -count repetitions on stdin. AllocsPerOp is -1 when the run was
+// missing -benchmem.
+type Stat struct {
+	NsPerOp     float64
+	AllocsPerOp int64
+	Runs        int
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkSmokeSweep-8   38   30212345 ns/op   1234 B/op   56 allocs/op
+//
+// The -8 suffix is GOMAXPROCS and varies across machines, so it is stripped
+// from the key.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// ParseBench reduces `go test -bench` output to per-benchmark best stats.
+func ParseBench(r io.Reader) (map[string]Stat, error) {
+	out := map[string]Stat{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], strings.Fields(m[2])
+		ns, allocs := -1.0, int64(-1)
+		// The tail is (value, unit) pairs: ns/op, B/op, allocs/op plus any
+		// b.ReportMetric extras.
+		for i := 0; i+1 < len(rest); i += 2 {
+			val, unit := rest[i], rest[i+1]
+			switch unit {
+			case "ns/op":
+				v, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchgate: bad ns/op %q for %s", val, name)
+				}
+				ns = v
+			case "allocs/op":
+				v, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchgate: bad allocs/op %q for %s", val, name)
+				}
+				allocs = v
+			}
+		}
+		if ns < 0 {
+			continue
+		}
+		st, seen := out[name]
+		if !seen {
+			out[name] = Stat{NsPerOp: ns, AllocsPerOp: allocs, Runs: 1}
+			continue
+		}
+		if ns < st.NsPerOp {
+			st.NsPerOp = ns
+		}
+		if allocs >= 0 && (st.AllocsPerOp < 0 || allocs < st.AllocsPerOp) {
+			st.AllocsPerOp = allocs
+		}
+		st.Runs++
+		out[name] = st
+	}
+	return out, sc.Err()
+}
+
+// Baseline is the committed reference (BENCH_baseline.json).
+type Baseline struct {
+	Schema       int                      `json:"schema"`
+	Command      string                   `json:"command,omitempty"`
+	TolerancePct float64                  `json:"tolerance_pct"`
+	Benchmarks   map[string]BaselineEntry `json:"benchmarks"`
+}
+
+// BaselineEntry is the reference numbers of one benchmark.
+type BaselineEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+const baselineSchema = 1
+
+// defaultTolerancePct is the documented ns/op tolerance: generous enough for
+// shared-runner noise once the minimum of ≥3 repetitions is taken, tight
+// enough to catch a real slowdown of the simulator hot path.
+const defaultTolerancePct = 25
+
+// NewBaseline builds a baseline from measured stats.
+func NewBaseline(measured map[string]Stat, tolerance float64) *Baseline {
+	if tolerance <= 0 {
+		tolerance = defaultTolerancePct
+	}
+	b := &Baseline{
+		Schema:       baselineSchema,
+		Command:      "make bench-baseline (see Makefile)",
+		TolerancePct: tolerance,
+		Benchmarks:   map[string]BaselineEntry{},
+	}
+	for name, st := range measured {
+		b.Benchmarks[name] = BaselineEntry{NsPerOp: st.NsPerOp, AllocsPerOp: st.AllocsPerOp}
+	}
+	return b
+}
+
+// Write writes the baseline with stable key order.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ") // maps marshal key-sorted
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	if b.Schema != baselineSchema {
+		return nil, fmt.Errorf("benchgate: %s: schema v%d, this build reads v%d", path, b.Schema, baselineSchema)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchgate: %s: empty baseline", path)
+	}
+	return &b, nil
+}
+
+// Report is the outcome of one gate check.
+type Report struct {
+	TolerancePct float64
+	Regressions  []string // offending rows, human-readable
+	Missing      []string // in the baseline but absent from the input
+	Untracked    []string // measured but not in the baseline
+	Passed       []string
+}
+
+// Failed reports whether the gate should fail the build.
+func (r *Report) Failed() bool { return len(r.Regressions) > 0 || len(r.Missing) > 0 }
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchgate: %d benchmarks checked, tolerance %.0f%% on ns/op, any allocs/op increase fails\n",
+		len(r.Passed)+len(r.Regressions), r.TolerancePct)
+	for _, row := range r.Passed {
+		fmt.Fprintf(&b, "  ok   %s\n", row)
+	}
+	for _, row := range r.Untracked {
+		fmt.Fprintf(&b, "  new  %s (not in baseline; refresh with `make bench-baseline` to track it)\n", row)
+	}
+	for _, row := range r.Missing {
+		fmt.Fprintf(&b, "  FAIL %s: in the baseline but not measured (benchmark removed or renamed? refresh the baseline intentionally)\n", row)
+	}
+	for _, row := range r.Regressions {
+		fmt.Fprintf(&b, "  FAIL %s\n", row)
+	}
+	if r.Failed() {
+		b.WriteString("benchgate: REGRESSION — if intentional, refresh the baseline with `make bench-baseline` and commit it\n")
+	} else {
+		b.WriteString("benchgate: OK\n")
+	}
+	return b.String()
+}
+
+// Check compares measured stats against the baseline. A tolerance > 0
+// overrides the baseline file's.
+func Check(base *Baseline, measured map[string]Stat, tolerance float64) *Report {
+	tol := base.TolerancePct
+	if tolerance > 0 {
+		tol = tolerance
+	}
+	if tol <= 0 {
+		tol = defaultTolerancePct
+	}
+	rep := &Report{TolerancePct: tol}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ref := base.Benchmarks[name]
+		st, ok := measured[name]
+		if !ok {
+			rep.Missing = append(rep.Missing, name)
+			continue
+		}
+		var bad []string
+		if limit := ref.NsPerOp * (1 + tol/100); st.NsPerOp > limit {
+			bad = append(bad, fmt.Sprintf("ns/op %.0f > %.0f (baseline %.0f +%.0f%%)", st.NsPerOp, limit, ref.NsPerOp, tol))
+		}
+		if ref.AllocsPerOp >= 0 && st.AllocsPerOp > ref.AllocsPerOp {
+			bad = append(bad, fmt.Sprintf("allocs/op %d > baseline %d", st.AllocsPerOp, ref.AllocsPerOp))
+		}
+		if len(bad) > 0 {
+			rep.Regressions = append(rep.Regressions, fmt.Sprintf("%s: %s", name, strings.Join(bad, "; ")))
+		} else {
+			rep.Passed = append(rep.Passed, fmt.Sprintf("%s: ns/op %.0f (baseline %.0f), allocs/op %d (baseline %d)",
+				name, st.NsPerOp, ref.NsPerOp, st.AllocsPerOp, ref.AllocsPerOp))
+		}
+	}
+	measuredNames := make([]string, 0, len(measured))
+	for name := range measured {
+		if _, ok := base.Benchmarks[name]; !ok {
+			measuredNames = append(measuredNames, name)
+		}
+	}
+	sort.Strings(measuredNames)
+	rep.Untracked = measuredNames
+	return rep
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: flexvc
+BenchmarkSmokeSweep-8   	       1	 31000000 ns/op	  120000 B/op	    1500 allocs/op	         0.456 accepted-load
+BenchmarkSmokeSweep-8   	       1	 30000000 ns/op	  120000 B/op	    1500 allocs/op	         0.456 accepted-load
+BenchmarkSmokeSweep-8   	       1	 33000000 ns/op	  121000 B/op	    1501 allocs/op	         0.456 accepted-load
+BenchmarkAllowedVCs-8   	20000000	        55.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAllowedVCs-8   	20000000	        54.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAllowedVCs-8   	20000000	        56.1 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	flexvc	3.2s
+`
+
+func parse(t *testing.T, out string) map[string]Stat {
+	t.Helper()
+	m, err := ParseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBenchTakesMinAcrossCount(t *testing.T) {
+	m := parse(t, sampleOutput)
+	smoke, ok := m["BenchmarkSmokeSweep"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", m)
+	}
+	if smoke.NsPerOp != 30000000 || smoke.AllocsPerOp != 1500 || smoke.Runs != 3 {
+		t.Fatalf("wrong reduction: %+v", smoke)
+	}
+	if vcs := m["BenchmarkAllowedVCs"]; vcs.NsPerOp != 54.0 || vcs.AllocsPerOp != 0 {
+		t.Fatalf("wrong reduction: %+v", vcs)
+	}
+}
+
+func TestGatePassesAtBaseline(t *testing.T) {
+	m := parse(t, sampleOutput)
+	base := NewBaseline(m, 0)
+	rep := Check(base, m, 0)
+	if rep.Failed() {
+		t.Fatalf("gate failed against its own baseline:\n%s", rep)
+	}
+	if len(rep.Passed) != 2 {
+		t.Fatalf("expected 2 passing rows: %+v", rep)
+	}
+}
+
+// TestGateFailsOnArtificiallySlowedBenchmark is the demonstration required by
+// the acceptance criteria: slow one benchmark past the tolerance and the gate
+// must fail, naming the offending row.
+func TestGateFailsOnArtificiallySlowedBenchmark(t *testing.T) {
+	base := NewBaseline(parse(t, sampleOutput), 0)
+	slowed := strings.ReplaceAll(sampleOutput, " 31000000 ns/op", " 44000000 ns/op")
+	slowed = strings.ReplaceAll(slowed, " 30000000 ns/op", " 43000000 ns/op")
+	slowed = strings.ReplaceAll(slowed, " 33000000 ns/op", " 45000000 ns/op")
+	rep := Check(base, parse(t, slowed), 0)
+	if !rep.Failed() {
+		t.Fatal("43ms vs a 30ms baseline (+43%) passed a 25% gate")
+	}
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "BenchmarkSmokeSweep") {
+		t.Fatalf("offending row not named: %+v", rep.Regressions)
+	}
+	if !strings.Contains(rep.String(), "FAIL BenchmarkSmokeSweep") {
+		t.Fatalf("report does not print the offending row:\n%s", rep)
+	}
+}
+
+func TestGateToleratesNoiseWithinTolerance(t *testing.T) {
+	base := NewBaseline(parse(t, sampleOutput), 0)
+	noisy := strings.ReplaceAll(sampleOutput, " 30000000 ns/op", " 36000000 ns/op") // +20% < 25%
+	if rep := Check(base, parse(t, noisy), 0); rep.Failed() {
+		t.Fatalf("+20%% noise failed a 25%% gate:\n%s", rep)
+	}
+}
+
+func TestGateFailsOnAnyAllocIncrease(t *testing.T) {
+	base := NewBaseline(parse(t, sampleOutput), 0)
+	leaky := strings.ReplaceAll(sampleOutput, "    1500 allocs/op", "    1501 allocs/op")
+	rep := Check(base, parse(t, leaky), 0)
+	if !rep.Failed() || !strings.Contains(rep.Regressions[0], "allocs/op 1501 > baseline 1500") {
+		t.Fatalf("single-alloc regression not caught:\n%s", rep)
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	base := NewBaseline(parse(t, sampleOutput), 0)
+	only := parse(t, sampleOutput)
+	delete(only, "BenchmarkSmokeSweep")
+	rep := Check(base, only, 0)
+	if !rep.Failed() || len(rep.Missing) != 1 {
+		t.Fatalf("missing benchmark not caught: %+v", rep)
+	}
+}
+
+func TestGateReportsUntrackedBenchmarks(t *testing.T) {
+	base := NewBaseline(parse(t, sampleOutput), 0)
+	extra := sampleOutput + "BenchmarkBrandNew-8   	 100	 1000 ns/op	 0 B/op	 0 allocs/op\n"
+	rep := Check(base, parse(t, extra), 0)
+	if rep.Failed() || len(rep.Untracked) != 1 || rep.Untracked[0] != "BenchmarkBrandNew" {
+		t.Fatalf("untracked benchmark handling wrong: %+v", rep)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	base := NewBaseline(parse(t, sampleOutput), 30)
+	path := filepath.Join(t.TempDir(), "BENCH_baseline.json")
+	if err := base.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TolerancePct != 30 || len(back.Benchmarks) != 2 {
+		t.Fatalf("baseline round-trip wrong: %+v", back)
+	}
+	if rep := Check(back, parse(t, sampleOutput), 0); rep.Failed() {
+		t.Fatalf("round-tripped baseline fails its own input:\n%s", rep)
+	}
+}

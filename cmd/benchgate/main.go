@@ -1,0 +1,69 @@
+// Command benchgate is the CI benchmark-regression gate: it parses `go test
+// -bench` output from stdin, reduces each benchmark to its best (minimum)
+// ns/op and allocs/op across the -count repetitions, and compares them
+// against a committed baseline.
+//
+// The gate fails when a benchmark's best ns/op exceeds the baseline by more
+// than the tolerance (default 25%, recorded in the baseline file), or when
+// allocs/op increases at all — allocation counts are deterministic, so any
+// increase is a real regression, while wall-time carries scheduler noise that
+// taking the minimum of ≥3 runs plus the tolerance absorbs.
+//
+// Usage:
+//
+//	go test -run xxx -bench <pat> -benchmem -count 3 ./... | benchgate -baseline BENCH_baseline.json
+//	go test -run xxx -bench <pat> -benchmem -count 5 ./... | benchgate -baseline BENCH_baseline.json -update
+//
+// (or `make bench-check` / `make bench-baseline`, which pin the benchmark
+// set). -update rewrites the baseline from the measured input; commit the
+// refreshed file together with the change that justifies it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		baselinePath = fs.String("baseline", "BENCH_baseline.json", "baseline file to compare against (or rewrite with -update)")
+		update       = fs.Bool("update", false, "rewrite the baseline from the measured input instead of checking")
+		tolerance    = fs.Float64("tolerance", 0, "ns/op tolerance in percent (0 = use the baseline file's, default 25)")
+	)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	measured, err := ParseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(measured) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results on stdin")
+		os.Exit(2)
+	}
+
+	if *update {
+		base := NewBaseline(measured, *tolerance)
+		if err := base.Write(*baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %s with %d benchmarks (tolerance %.0f%% on ns/op)\n",
+			*baselinePath, len(base.Benchmarks), base.TolerancePct)
+		return
+	}
+
+	base, err := LoadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	report := Check(base, measured, *tolerance)
+	fmt.Print(report.String())
+	if report.Failed() {
+		os.Exit(1)
+	}
+}

@@ -1,21 +1,37 @@
 // Command figures regenerates the tables and figures of the FlexVC paper's
-// evaluation section (Tables I-IV, Figures 5-11) as plain-text reports.
+// evaluation section (Tables I-IV, Figures 5-11).
+//
+// It has two halves, connected by machine-readable results files
+// (internal/results): `run` simulates into a results directory, checkpointing
+// every completed replication so an interrupted sweep resumes where it
+// stopped, and `render` turns the recorded results into reports — including
+// the paper-vs-measured tables of EXPERIMENTS.md — without re-simulating.
 //
 // Examples:
 //
-//	figures -list
+//	figures list
+//	figures run -exp fig5 -scale small -seeds 5 -results results/
+//	figures run -exp all -scale medium -seeds 5 -results results/   # resumable
+//	figures render -exp fig5 -results results/ -out fig5.md
+//	figures render -exp fig5 -results results/ -format text
+//
+// The legacy one-shot mode (simulate and print, nothing recorded) is kept for
+// quick looks:
+//
 //	figures -exp table3
 //	figures -exp fig5 -scale small -seeds 3
-//	figures -exp all -quick -out results/
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
 	"time"
 
+	"flexvc/internal/results"
 	"flexvc/internal/sim"
 	"flexvc/internal/stats"
 	"flexvc/internal/sweep"
@@ -37,6 +53,240 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "list":
+			return listCmd()
+		case "run":
+			return runCmd(args[1:])
+		case "render":
+			return renderCmd(args[1:])
+		case "help", "-h", "-help", "--help":
+			fmt.Println("usage: figures {list | run | render} [flags]   (or legacy: figures -exp ... )")
+			fmt.Println("  run    simulate into a checkpointed results directory (resumable)")
+			fmt.Println("  render turn recorded results into reports without re-simulating")
+			return nil
+		}
+	}
+	return legacyCmd(args)
+}
+
+func listCmd() error {
+	reg := sweep.Registry()
+	for _, id := range sweep.IDs() {
+		kind := "simulated"
+		if reg[id].Analytic {
+			kind = "analytic"
+		}
+		fmt.Printf("  %-8s %-9s %s\n", id, kind, reg[id].Title)
+	}
+	return nil
+}
+
+// expandIDs resolves the -exp flag value ("fig5", "fig5,fig7" or "all").
+func expandIDs(exp string) ([]string, error) {
+	if exp == "" {
+		return nil, fmt.Errorf("missing -exp (use `figures list` to see the available experiments)")
+	}
+	if exp == "all" {
+		return sweep.IDs(), nil
+	}
+	ids := strings.Split(exp, ",")
+	reg := sweep.Registry()
+	for _, id := range ids {
+		if _, ok := reg[id]; !ok {
+			return nil, fmt.Errorf("unknown experiment %q (use `figures list`)", id)
+		}
+	}
+	return ids, nil
+}
+
+// gitRevision best-effort resolves the source revision results are stamped
+// with; an explicit -revision flag overrides it.
+func gitRevision() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// --- figures run -----------------------------------------------------------
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("figures run", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "", "experiments to run: comma-separated IDs or 'all'")
+		scale    = fs.String("scale", "small", "system scale: small, medium or paper")
+		seeds    = fs.Int("seeds", 1, "independent replications per point (the paper uses 5)")
+		parallel = fs.Int("parallel", 0, "cap on sweep points in flight (0 = unbounded; a memory guard)")
+		workers  = fs.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
+		quick    = fs.Bool("quick", false, "trim sweeps for a fast smoke run")
+		resDir   = fs.String("results", "", "results directory (required): checkpoints + exported results JSON")
+		revision = fs.String("revision", "", "source revision to stamp into the results (default: git rev-parse)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *resDir == "" {
+		return fmt.Errorf("run: missing -results directory")
+	}
+	ids, err := expandIDs(*exp)
+	if err != nil {
+		return err
+	}
+	store, err := results.Open(*resDir)
+	if err != nil {
+		return err
+	}
+	rev := *revision
+	if rev == "" {
+		rev = gitRevision()
+	}
+	if rev != "" {
+		store.SetRevision(rev)
+	}
+	if *workers > 0 {
+		sim.SetWorkerBudget(*workers)
+	}
+	if prior := store.Len(); prior > 0 {
+		fmt.Fprintf(os.Stderr, "resuming: %d replications already recorded in %s\n", prior, *resDir)
+	}
+
+	reg := sweep.Registry()
+	for _, id := range ids {
+		if reg[id].Analytic {
+			fmt.Fprintf(os.Stderr, "%s: analytic (nothing to simulate or record); render it with `figures -exp %s`\n", id, id)
+			continue
+		}
+		start := time.Now()
+		var lastPrint time.Time
+		var final sweep.Progress
+		opts := sweep.Options{
+			Scale:       *scale,
+			Seeds:       *seeds,
+			Parallelism: *parallel,
+			Quick:       *quick,
+			Results:     store,
+			Progress: func(p sweep.Progress) {
+				final = p
+				if p.Done != p.Total && time.Since(lastPrint) < time.Second {
+					return
+				}
+				lastPrint = time.Now()
+				fmt.Fprintf(os.Stderr, "%s [%s] %d/%d replications (%d restored) elapsed %s eta %s\n",
+					id, p.Section, p.Done, p.Total, p.Skipped,
+					p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
+			},
+		}
+		if _, err := sweep.Run(id, opts); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		path, err := store.WriteExport(id, reg[id].Title)
+		if err != nil {
+			return fmt.Errorf("%s: exporting results: %w", id, err)
+		}
+		fmt.Printf("%s: %d replications (%d restored from checkpoints) in %s -> %s\n",
+			id, final.Done, final.Skipped, time.Since(start).Round(time.Millisecond), path)
+	}
+	fmt.Printf("results directory %s now holds %d replications (%s of simulation)\n",
+		*resDir, store.Len(), store.WallTotal().Round(time.Second))
+	return nil
+}
+
+// --- figures render --------------------------------------------------------
+
+func renderCmd(args []string) error {
+	fs := flag.NewFlagSet("figures render", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "", "experiments to render: comma-separated IDs or 'all'")
+		resDir = fs.String("results", "", "results directory holding <exp>.results.json exports")
+		out    = fs.String("out", "", "output file (single experiment) or directory (with -exp all); default stdout")
+		format = fs.String("format", "markdown", "output format: markdown or text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *resDir == "" {
+		return fmt.Errorf("render: missing -results directory")
+	}
+	ids, err := expandIDs(*exp)
+	if err != nil {
+		return err
+	}
+	reg := sweep.Registry()
+	multi := len(ids) > 1
+	rendered := 0
+	for _, id := range ids {
+		if reg[id].Analytic {
+			if !multi {
+				return fmt.Errorf("%s is analytic: regenerate it directly with `figures -exp %s`", id, id)
+			}
+			continue
+		}
+		path := filepath.Join(*resDir, id+".results.json")
+		f, err := results.LoadFile(path)
+		if err != nil {
+			if multi && os.IsNotExist(err) {
+				continue // not every experiment has been run into this directory
+			}
+			return err
+		}
+		var text string
+		switch *format {
+		case "markdown", "md":
+			text, err = sweep.RenderResultsMarkdown(f)
+		case "text", "txt":
+			var rep *sweep.Report
+			rep, err = sweep.ReportFromResults(f)
+			if err == nil {
+				rep.Notes = append(rep.Notes, errorBoundNote())
+				text = rep.Render()
+			}
+		default:
+			return fmt.Errorf("render: unknown format %q (want markdown or text)", *format)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if err := emit(*out, id, *format, text, multi); err != nil {
+			return err
+		}
+		rendered++
+	}
+	if rendered == 0 {
+		return fmt.Errorf("render: no results files for %q under %s (run `figures run` first)", *exp, *resDir)
+	}
+	return nil
+}
+
+// emit writes one rendered report to stdout, a file, or a directory.
+func emit(out, id, format, text string, multi bool) error {
+	if out == "" {
+		fmt.Println(text)
+		return nil
+	}
+	path := out
+	if multi {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		ext := ".md"
+		if format == "text" || format == "txt" {
+			ext = ".txt"
+		}
+		path = filepath.Join(out, id+ext)
+	}
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// --- legacy one-shot mode --------------------------------------------------
+
+func legacyCmd(args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	var (
 		list     = fs.Bool("list", false, "list available experiments and exit")
@@ -53,14 +303,10 @@ func run(args []string) error {
 	}
 
 	if *list {
-		reg := sweep.Registry()
-		for _, id := range sweep.IDs() {
-			fmt.Printf("  %-8s %s\n", id, reg[id].Title)
-		}
-		return nil
+		return listCmd()
 	}
 	if *exp == "" {
-		return fmt.Errorf("missing -exp (use -list to see the available experiments)")
+		return fmt.Errorf("missing -exp (use `figures list` to see the available experiments)")
 	}
 
 	if *workers > 0 {

@@ -20,6 +20,7 @@ import (
 	"flexvc/internal/buffer"
 	"flexvc/internal/config"
 	"flexvc/internal/core"
+	"flexvc/internal/results"
 	"flexvc/internal/routing"
 	"flexvc/internal/sim"
 	"flexvc/internal/stats"
@@ -54,6 +55,7 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "base random seed")
 		workers  = fs.Int("workers", 0, "concurrent replication workers (0 = GOMAXPROCS)")
 		tableMB  = fs.Int("route-table-mb", 0, "memory budget for precomputed route tables in MiB (0 = default, negative disables)")
+		out      = fs.String("out", "", "write the result as machine-readable JSON (internal/results schema) to this file")
 		verbose  = fs.Bool("v", false, "print per-replication results")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -118,6 +120,12 @@ func run(args []string) error {
 	fmt.Printf("  avg hops      : %.2f, minimally routed %.1f%%\n", agg.AvgHops, 100*agg.MinimalFraction)
 	if agg.Deadlock {
 		fmt.Println("  WARNING: the deadlock watchdog aborted at least one replication")
+	}
+	if *out != "" {
+		if err := results.WriteSinglePoint(*out, cfg, *scale, agg, runs); err != nil {
+			return fmt.Errorf("writing %s: %w", *out, err)
+		}
+		fmt.Printf("  wrote %s\n", *out)
 	}
 	return nil
 }

@@ -126,4 +126,4 @@ func FuzzPathValidity(f *testing.F) {
 type zeroProbe struct{}
 
 func (zeroProbe) OutputOccupancy(packet.RouterID, int, int, bool) int { return 0 }
-func (zeroProbe) OutputCapacity(packet.RouterID, int, int) int       { return 64 }
+func (zeroProbe) OutputCapacity(packet.RouterID, int, int) int        { return 64 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"flexvc/internal/config"
 	"flexvc/internal/stats"
@@ -59,11 +60,29 @@ func RunOne(cfg config.Config) (stats.Result, error) {
 	return n.Run(), nil
 }
 
-// replicationSeed derives the seed of replication s from the base
+// ReplicationSeed derives the PRNG seed of replication s from the base
 // configuration seed. Every replication owns its configuration, network and
 // PRNG streams, so replications are independent of each other and of the
-// order (or concurrency) in which they execute.
-func replicationSeed(base int64, s int) int64 { return base + int64(s)*7919 }
+// order (or concurrency) in which they execute. It is exported so the
+// checkpointed sweep runner (internal/sweep + internal/results) can run and
+// record single replications that are bit-identical to RunAveraged's.
+func ReplicationSeed(base int64, s int) int64 { return base + int64(s)*7919 }
+
+// RunReplication runs replication s of cfg — deriving its seed with
+// ReplicationSeed — on the process-wide worker budget, and returns its
+// summary together with the wall-clock time spent simulating (measured after
+// the worker token is acquired, so queueing for a busy budget is excluded).
+// RunAveraged(cfg, n) is exactly the aggregation of
+// RunReplication(cfg, 0..n-1) in replication order.
+func RunReplication(cfg config.Config, s int) (stats.Result, time.Duration, error) {
+	release := acquireWorker()
+	defer release()
+	c := cfg
+	c.Seed = ReplicationSeed(cfg.Seed, s)
+	start := time.Now()
+	r, err := RunOne(c)
+	return r, time.Since(start), err
+}
 
 // RunAveraged runs `seeds` independent replications (the paper averages 5)
 // and returns the aggregated result together with the individual runs, in
@@ -84,7 +103,7 @@ func RunAveraged(cfg config.Config, seeds int) (stats.Result, []stats.Result, er
 		release := acquireWorker()
 		defer release()
 		c := cfg
-		c.Seed = replicationSeed(cfg.Seed, 0)
+		c.Seed = ReplicationSeed(cfg.Seed, 0)
 		r, err := RunOne(c)
 		if err != nil {
 			return stats.Result{}, nil, err
@@ -101,7 +120,7 @@ func RunAveraged(cfg config.Config, seeds int) (stats.Result, []stats.Result, er
 			release := acquireWorker()
 			defer release()
 			c := cfg
-			c.Seed = replicationSeed(cfg.Seed, s)
+			c.Seed = ReplicationSeed(cfg.Seed, s)
 			results[s], errs[s] = RunOne(c)
 		}(s)
 	}

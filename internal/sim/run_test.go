@@ -33,7 +33,7 @@ func TestRunAveragedMatchesSequential(t *testing.T) {
 	want := make([]stats.Result, 0, seeds)
 	for s := 0; s < seeds; s++ {
 		c := cfg
-		c.Seed = replicationSeed(cfg.Seed, s)
+		c.Seed = ReplicationSeed(cfg.Seed, s)
 		r, err := RunOne(c)
 		if err != nil {
 			t.Fatal(err)

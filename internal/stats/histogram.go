@@ -1,6 +1,10 @@
 package stats
 
-import "math/bits"
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+)
 
 // Histogram is a fixed-size log-linear latency histogram, replacing the
 // unbounded per-sample buffer the collector used to keep: recording a sample
@@ -116,4 +120,86 @@ func (h *Histogram) valueAtRank(rank int64, startBucket int, startCum int64) (fl
 func (h *Histogram) Reset() {
 	h.counts = [histBuckets]int64{}
 	h.total = 0
+}
+
+// Clone returns an independent copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	return &c
+}
+
+// Merge adds every count of o into h. Merging the histograms of independent
+// runs yields exactly the histogram of the pooled samples, which is what lets
+// checkpointed sweep results be re-aggregated offline without re-simulating.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+}
+
+// histogramSchemaVersion guards the serialized bucket layout: decoding fails
+// loudly if the layout constants ever change instead of silently misreading
+// old results files.
+const histogramSchemaVersion = 1
+
+// histogramJSON is the serialized form of a Histogram: a sparse, ascending
+// list of (bucket index, count) pairs. The encoding is deterministic (same
+// counts always produce the same bytes), which the results pipeline relies on
+// for bit-identical resumed sweeps.
+type histogramJSON struct {
+	Version int        `json:"v"`
+	SubBits int        `json:"sub_bits"`
+	Total   int64      `json:"total"`
+	Buckets [][2]int64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	enc := histogramJSON{Version: histogramSchemaVersion, SubBits: histSubBits, Total: h.total}
+	for i, c := range h.counts {
+		if c != 0 {
+			enc.Buckets = append(enc.Buckets, [2]int64{int64(i), c})
+		}
+	}
+	return json.Marshal(enc)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the version, bucket
+// layout, index ranges and the total against the bucket counts.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var dec histogramJSON
+	if err := json.Unmarshal(data, &dec); err != nil {
+		return err
+	}
+	if dec.Version != histogramSchemaVersion {
+		return fmt.Errorf("stats: histogram schema v%d, this build reads v%d", dec.Version, histogramSchemaVersion)
+	}
+	if dec.SubBits != histSubBits {
+		return fmt.Errorf("stats: histogram bucket layout sub_bits=%d, this build uses %d", dec.SubBits, histSubBits)
+	}
+	h.Reset()
+	var sum int64
+	for _, b := range dec.Buckets {
+		i, c := b[0], b[1]
+		if i < 0 || i >= histBuckets {
+			return fmt.Errorf("stats: histogram bucket index %d outside [0,%d)", i, histBuckets)
+		}
+		if c <= 0 {
+			return fmt.Errorf("stats: histogram bucket %d has non-positive count %d", i, c)
+		}
+		if h.counts[i] != 0 {
+			return fmt.Errorf("stats: histogram bucket %d appears twice", i)
+		}
+		h.counts[i] = c
+		sum += c
+	}
+	if sum != dec.Total {
+		return fmt.Errorf("stats: histogram total %d does not match bucket sum %d", dec.Total, sum)
+	}
+	h.total = dec.Total
+	return nil
 }

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"flexvc/internal/packet"
+)
+
+// TestHistogramJSONRoundTrip serializes histograms of several shapes and
+// requires the decoded histogram to be identical — same counts, same total,
+// same quantiles — and the encoding itself to be deterministic.
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	cases := map[string]func(*Histogram){
+		"empty": func(*Histogram) {},
+		"exact-region": func(h *Histogram) {
+			for v := int64(0); v < 100; v++ {
+				h.Record(v)
+			}
+		},
+		"heavy-tail": func(h *Histogram) {
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 20000; i++ {
+				h.Record(int64(rng.ExpFloat64() * 900))
+			}
+		},
+		"extremes": func(h *Histogram) {
+			h.Record(0)
+			h.Record(1 << 50) // clamps into the final bucket
+		},
+	}
+	for name, fill := range cases {
+		t.Run(name, func(t *testing.T) {
+			var h Histogram
+			fill(&h)
+			enc, err := json.Marshal(&h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc2, err := json.Marshal(&h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc, enc2) {
+				t.Fatal("histogram encoding is not deterministic")
+			}
+			var back Histogram
+			if err := json.Unmarshal(enc, &back); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(&h, &back) {
+				t.Fatal("histogram does not round-trip bit-identically")
+			}
+			for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+				if got, want := back.Quantile(q), h.Quantile(q); got != want {
+					t.Errorf("q%.2f changed across round-trip: %v vs %v", q, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramJSONRejectsCorruption exercises the decoder's validation.
+func TestHistogramJSONRejectsCorruption(t *testing.T) {
+	bad := []string{
+		`{"v":99,"sub_bits":7,"total":0}`,                        // unknown version
+		`{"v":1,"sub_bits":8,"total":0}`,                         // wrong layout
+		`{"v":1,"sub_bits":7,"total":1,"buckets":[[-1,1]]}`,      // index underflow
+		`{"v":1,"sub_bits":7,"total":1,"buckets":[[999999,1]]}`,  // index overflow
+		`{"v":1,"sub_bits":7,"total":1,"buckets":[[3,0]]}`,       // zero count
+		`{"v":1,"sub_bits":7,"total":2,"buckets":[[3,1],[3,1]]}`, // duplicate bucket
+		`{"v":1,"sub_bits":7,"total":5,"buckets":[[3,1]]}`,       // total mismatch
+		`not json`,
+	}
+	for _, s := range bad {
+		var h Histogram
+		if err := json.Unmarshal([]byte(s), &h); err == nil {
+			t.Errorf("corrupt histogram %q decoded without error", s)
+		}
+	}
+}
+
+// TestHistogramMerge checks that merging equals recording the pooled samples.
+func TestHistogramMerge(t *testing.T) {
+	var a, b, pooled Histogram
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(4000))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		pooled.Record(v)
+	}
+	merged := a.Clone()
+	merged.Merge(&b)
+	merged.Merge(nil) // no-op
+	if !reflect.DeepEqual(merged, &pooled) {
+		t.Fatal("merge does not equal pooling the samples")
+	}
+}
+
+// TestResultJSONRoundTrip round-trips a full Result, including the attached
+// histogram, and requires exact equality — the property the checkpointed
+// sweep pipeline depends on for bit-identical resumes.
+func TestResultJSONRoundTrip(t *testing.T) {
+	c := NewCollector(16, 100, 10000)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		recv := 100 + int64(rng.Intn(9000))
+		delivered(c, uint64(i), recv-int64(rng.Intn(800)), recv-5, recv, 8, packet.Request, packet.Minimal)
+	}
+	res := c.Summarize(0.73, 12345, false)
+	enc, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Fatalf("Result does not round-trip:\n got %+v\nwant %+v", back, res)
+	}
+	enc2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("Result re-encoding is not byte-identical")
+	}
+}
+
+// TestAggregateMergesHistograms checks the aggregate of several runs carries
+// the pooled histogram (and tolerates legacy results without one).
+func TestAggregateMergesHistograms(t *testing.T) {
+	mk := func(vals ...int64) Result {
+		var h Histogram
+		for _, v := range vals {
+			h.Record(v)
+		}
+		return Result{DeliveredPackets: int64(len(vals)), Hist: &h}
+	}
+	agg := Aggregate([]Result{mk(1, 2, 3), mk(10, 20), {DeliveredPackets: 1}})
+	if agg.Hist == nil || agg.Hist.Total() != 5 {
+		t.Fatalf("aggregate histogram wrong: %+v", agg.Hist)
+	}
+	if legacy := Aggregate([]Result{{DeliveredPackets: 1}}); legacy.Hist != nil {
+		t.Fatal("aggregate of legacy results should not invent a histogram")
+	}
+}

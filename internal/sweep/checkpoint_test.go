@@ -1,0 +1,329 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"flexvc/internal/config"
+	"flexvc/internal/core"
+	"flexvc/internal/results"
+)
+
+// checkpointTestSweep runs the reference checkpointed sweep of this test
+// file into dir: 3 variants x 5 loads x 2 seeds on the tiny Dragonfly. Both
+// the in-process tests and the SIGKILL helper process run exactly this, so
+// their stores are comparable byte for byte.
+func checkpointTestSweep(dir string, progress func(Progress)) ([]Series, *results.Store, error) {
+	store, err := results.Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	base := config.Tiny()
+	base.WarmupCycles = 300
+	base.MeasureCycles = 3000
+	variants := []Variant{
+		baselineVariant("baseline 2/1", core.SingleClass(2, 1)),
+		flexVariant("flexvc 2/1", core.SingleClass(2, 1)),
+		flexVariant("flexvc 4/2", core.SingleClass(4, 2)),
+	}
+	o := Options{
+		Scale:      "tiny",
+		Seeds:      2,
+		Results:    store,
+		Progress:   progress,
+		experiment: "ckpt-test",
+		state:      newRunState(),
+	}
+	series, err := o.runSection("tiny UN/MIN panel", base, variants, []float64{0.2, 0.4, 0.6, 0.8, 1.0})
+	return series, store, err
+}
+
+const ckptTestReplications = 3 * 5 * 2
+
+// exportBytes writes the test experiment's export file and returns its bytes.
+func exportBytes(t *testing.T, store *results.Store) []byte {
+	t.Helper()
+	path, err := store.WriteExport("ckpt-test", "checkpoint test sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestCheckpointedMatchesPlainSweep requires the checkpointed engine to
+// produce exactly the series the plain sweep produces: checkpointing is an
+// observer, never a behaviour change.
+func TestCheckpointedMatchesPlainSweep(t *testing.T) {
+	ckSeries, _, err := checkpointTestSweep(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := config.Tiny()
+	base.WarmupCycles = 300
+	base.MeasureCycles = 3000
+	variants := []Variant{
+		baselineVariant("baseline 2/1", core.SingleClass(2, 1)),
+		flexVariant("flexvc 2/1", core.SingleClass(2, 1)),
+		flexVariant("flexvc 4/2", core.SingleClass(4, 2)),
+	}
+	plain, err := LoadSweep(base, variants, []float64{0.2, 0.4, 0.6, 0.8, 1.0}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ckSeries, plain) {
+		t.Fatal("checkpointed sweep result differs from the plain sweep")
+	}
+}
+
+// TestCheckpointResumeSkipsCompletedWork runs a partial sweep (a prefix of
+// the load points), then the full sweep against the same directory, and
+// requires (a) every already-done replication to be restored rather than
+// re-simulated and (b) the final export to be bit-identical to an
+// uninterrupted run's.
+func TestCheckpointResumeSkipsCompletedWork(t *testing.T) {
+	// Uninterrupted reference run.
+	_, refStore, err := checkpointTestSweep(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := exportBytes(t, refStore)
+
+	// Partial run: first two loads only.
+	dir := t.TempDir()
+	store, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := config.Tiny()
+	base.WarmupCycles = 300
+	base.MeasureCycles = 3000
+	variants := []Variant{
+		baselineVariant("baseline 2/1", core.SingleClass(2, 1)),
+		flexVariant("flexvc 2/1", core.SingleClass(2, 1)),
+		flexVariant("flexvc 4/2", core.SingleClass(4, 2)),
+	}
+	o := Options{Scale: "tiny", Seeds: 2, Results: store, experiment: "ckpt-test", state: newRunState()}
+	if _, err := o.runSection("tiny UN/MIN panel", base, variants, []float64{0.2, 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	partial := store.Len()
+	if partial != 3*2*2 {
+		t.Fatalf("partial run recorded %d replications, want %d", partial, 3*2*2)
+	}
+
+	// Resume with the full sweep against the same directory.
+	var last Progress
+	series, store2, err := checkpointTestSweep(dir, func(p Progress) { last = p })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Skipped != partial {
+		t.Errorf("resume skipped %d replications, want %d", last.Skipped, partial)
+	}
+	if last.Done != ckptTestReplications || last.Total != ckptTestReplications {
+		t.Errorf("resume accounting wrong: %+v", last)
+	}
+	if got := exportBytes(t, store2); !bytes.Equal(got, ref) {
+		t.Fatal("resumed export is not bit-identical to the uninterrupted run")
+	}
+	// And the rebuilt series must match too.
+	full, _, err := checkpointTestSweep(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(series, full) {
+		t.Fatal("resumed series differ from an uninterrupted run's")
+	}
+}
+
+// TestCheckpointSweepHelperProcess is not a test: it is the body of the
+// child process TestCheckpointSIGKILLResume kills. It runs the reference
+// sweep into the directory named by FLEXVC_SWEEP_HELPER_DIR.
+func TestCheckpointSweepHelperProcess(t *testing.T) {
+	dir := os.Getenv("FLEXVC_SWEEP_HELPER_DIR")
+	if dir == "" {
+		t.Skip("helper process for TestCheckpointSIGKILLResume")
+	}
+	if _, _, err := checkpointTestSweep(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointSIGKILLResume proves the acceptance criterion end to end: a
+// sweep process killed with SIGKILL mid-run leaves a directory from which a
+// restarted sweep skips the completed replications and exports results JSON
+// bit-identical to an uninterrupted run's.
+func TestCheckpointSIGKILLResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process")
+	}
+	dir := t.TempDir()
+	recDir := filepath.Join(dir, "records")
+
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCheckpointSweepHelperProcess$", "-test.v")
+	cmd.Env = append(os.Environ(), "FLEXVC_SWEEP_HELPER_DIR="+dir)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the child the moment at least two replications are on disk —
+	// mid-run, with most of the sweep still to do.
+	countRecords := func() int {
+		entries, err := os.ReadDir(recDir)
+		if err != nil {
+			return 0
+		}
+		n := 0
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".json") {
+				n++
+			}
+		}
+		return n
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for countRecords() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoints appeared before the deadline; helper output:\n%s", out.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL on unix
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+	killedAt := countRecords()
+	t.Logf("killed helper with %d/%d replications recorded", killedAt, ckptTestReplications)
+	if killedAt == ckptTestReplications {
+		t.Log("helper finished before the kill landed; resume still exercised below")
+	}
+
+	// Restart against the same directory.
+	var last Progress
+	_, store, err := checkpointTestSweep(dir, func(p Progress) { last = p })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Skipped == 0 {
+		t.Error("restarted sweep re-simulated everything; expected completed replications to be skipped")
+	}
+	if last.Done != ckptTestReplications {
+		t.Errorf("restarted sweep completed %d replications, want %d", last.Done, ckptTestReplications)
+	}
+
+	// The resumed export must equal an uninterrupted run's, byte for byte.
+	_, refStore, err := checkpointTestSweep(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(exportBytes(t, store), exportBytes(t, refStore)) {
+		t.Fatal("post-SIGKILL resumed export is not bit-identical to an uninterrupted run")
+	}
+}
+
+// TestReportFromResults rebuilds a report from the exported results file and
+// requires the rendered tables to match the live run's rendering exactly.
+func TestReportFromResults(t *testing.T) {
+	series, store, err := checkpointTestSweep(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := store.WriteExport("ckpt-test", "checkpoint test sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := results.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReportFromResults(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sections) != 1 {
+		t.Fatalf("rebuilt report has %d sections, want 1", len(rep.Sections))
+	}
+	want := RenderSeries("tiny UN/MIN panel", series)
+	if rep.Sections[0].Body != want {
+		t.Errorf("rebuilt section body differs from live rendering:\n--- got ---\n%s\n--- want ---\n%s", rep.Sections[0].Body, want)
+	}
+	md, err := RenderResultsMarkdown(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"### tiny UN/MIN panel", "| offered |", "max accepted", "baseline 2/1"} {
+		if !strings.Contains(md, frag) {
+			t.Errorf("markdown rendering missing %q:\n%s", frag, md)
+		}
+	}
+	if strings.Contains(md, "INCOMPLETE") {
+		t.Error("complete results rendered as incomplete")
+	}
+}
+
+// TestReportFromResultsFlagsMissingSeeds requires both interior and trailing
+// seed gaps to surface as INCOMPLETE markers instead of silently rendering
+// aggregates over fewer replications.
+func TestReportFromResultsFlagsMissingSeeds(t *testing.T) {
+	series, store, err := checkpointTestSweep(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = series
+	path, err := store.WriteExport("ckpt-test", "checkpoint test sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := results.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop := func(pred func(r results.Record) bool) *results.File {
+		out := *f
+		out.Records = nil
+		for _, r := range f.Records {
+			if !pred(r) {
+				out.Records = append(out.Records, r)
+			}
+		}
+		return &out
+	}
+	// Trailing gap: the first point of the first variant loses seed 1.
+	trailing := drop(func(r results.Record) bool {
+		return r.VariantIndex == 0 && r.PointIndex == 0 && r.Seed == 1
+	})
+	rep, err := ReportFromResults(trailing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Render(), "INCOMPLETE") {
+		t.Error("trailing seed gap not flagged")
+	}
+	// Interior gap: the same point loses seed 0 instead. Only the absent
+	// seed may be flagged — present seeds must not cascade into false notes.
+	interior := drop(func(r results.Record) bool {
+		return r.VariantIndex == 0 && r.PointIndex == 0 && r.Seed == 0
+	})
+	rep, err = ReportFromResults(interior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := rep.Render()
+	if !strings.Contains(text, "missing seed 0") {
+		t.Error("interior seed gap not flagged")
+	}
+	if strings.Contains(text, "missing seed 1") {
+		t.Error("present seed falsely flagged as missing")
+	}
+}

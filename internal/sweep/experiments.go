@@ -86,11 +86,18 @@ func IDs() []string {
 	return ids
 }
 
-// Run executes the experiment with the given ID.
+// Run executes the experiment with the given ID. When opts.Results is set
+// the run is checkpointed: every finished replication lands in the store
+// immediately, already-recorded replications are skipped, and the rendered
+// report is bit-identical either way.
 func Run(id string, opts Options) (*Report, error) {
 	exp, ok := Registry()[id]
 	if !ok {
 		return nil, fmt.Errorf("sweep: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	opts.experiment = id
+	if opts.state == nil {
+		opts.state = newRunState()
 	}
 	return exp.Run(opts)
 }
@@ -194,7 +201,7 @@ func runFig5(opts Options) (*Report, error) {
 		for _, v := range fig5Variants(p.adv) {
 			variants = append(variants, withTraffic(v, p.traffic, p.alg, false))
 		}
-		series, err := LoadSweep(base, variants, opts.loads(p.loads), opts.seeds(), opts.parallelism())
+		series, err := opts.runSection(p.title, base, variants, opts.loads(p.loads))
 		if err != nil {
 			return nil, err
 		}
@@ -251,11 +258,11 @@ func runMaxThroughputFigure(id, title string, speedup int, opts Options) (*Repor
 				vv := withTraffic(v, p.traffic, p.alg, false)
 				variants = append(variants, withBufferCapacity(vv, cap[0], cap[1]))
 			}
-			series, err := MaxThroughput(base, variants, opts.seeds(), opts.parallelism())
+			title := fmt.Sprintf("%d/%d phits per local/global port", cap[0], cap[1])
+			series, err := opts.runMaxSection(fmt.Sprintf("%s @ %s", p.title, title), base, variants)
 			if err != nil {
 				return nil, err
 			}
-			title := fmt.Sprintf("%d/%d phits per local/global port", cap[0], cap[1])
 			body.WriteString(RenderMaxThroughput(title, series))
 			all = append(all, series...)
 		}
@@ -344,7 +351,7 @@ func runFig7(opts Options) (*Report, error) {
 		if opts.Quick && len(variants) > 4 {
 			variants = variants[:4]
 		}
-		series, err := LoadSweep(base, variants, opts.loads(p.loads), opts.seeds(), opts.parallelism())
+		series, err := opts.runSection(p.title, base, variants, opts.loads(p.loads))
 		if err != nil {
 			return nil, err
 		}
@@ -412,7 +419,7 @@ func runFig8(opts Options) (*Report, error) {
 		if opts.Quick && len(variants) > 5 {
 			variants = append(variants[:2], variants[len(variants)-3:]...)
 		}
-		series, err := LoadSweep(base, variants, opts.loads(p.loads), opts.seeds(), opts.parallelism())
+		series, err := opts.runSection(p.title, base, variants, opts.loads(p.loads))
 		if err != nil {
 			return nil, err
 		}
@@ -471,7 +478,7 @@ func runFig9(opts Options) (*Report, error) {
 			}}
 			variants = append(variants, withTraffic(v, config.TrafficUniform, routing.MIN, true))
 		}
-		series, err := MaxThroughput(base, variants, opts.seeds(), opts.parallelism())
+		series, err := opts.runMaxSection(sp.label, base, variants)
 		if err != nil {
 			return nil, err
 		}
@@ -513,7 +520,7 @@ func runFig10(opts Options) (*Report, error) {
 			c.Scheme = core.Scheme{Policy: core.Baseline, VCs: single(2, 1), Selection: core.JSQ}
 		}})
 	}
-	series, err := LoadSweep(base, variants, opts.loads(DefaultLoads), opts.seeds(), opts.parallelism())
+	series, err := opts.runSection("DAMQ reservation sweep", base, variants, opts.loads(DefaultLoads))
 	if err != nil {
 		return nil, err
 	}

@@ -15,8 +15,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"flexvc/internal/config"
+	"flexvc/internal/results"
 	"flexvc/internal/sim"
 	"flexvc/internal/stats"
 )
@@ -73,6 +75,90 @@ type Options struct {
 	// Quick trims the sweep to fewer points and shorter measurement windows
 	// for smoke runs and benchmarks.
 	Quick bool
+	// Results, when non-nil, turns the run into a checkpointed sweep: every
+	// completed replication is persisted into the store as it finishes, and
+	// replications already present (matched by key and config fingerprint)
+	// are restored instead of re-simulated. A resumed sweep therefore skips
+	// completed work and its exported results are bit-identical to an
+	// uninterrupted run's.
+	Results *results.Store
+	// Progress, when non-nil, is invoked (serially) as replications finish
+	// or are restored from the store.
+	Progress func(Progress)
+
+	// experiment and state are stamped by Run so section sweeps know which
+	// experiment they belong to and share progress accounting.
+	experiment string
+	state      *runState
+}
+
+// Progress is one progress event of a checkpointed experiment run.
+// Replications are the unit of accounting: one (variant, load, seed)
+// simulation. Total grows as the experiment's sections are discovered (an
+// experiment runs its panels serially), so ETA is a lower bound until the
+// last section has been scheduled.
+type Progress struct {
+	Experiment string
+	Section    string
+	// Done counts replications finished in this run; Skipped of them were
+	// restored from the results store rather than simulated.
+	Done, Skipped, Total int
+	Elapsed              time.Duration
+	// ETA extrapolates from the measured pace of fresh replications; it is
+	// zero until one completes.
+	ETA time.Duration
+}
+
+// runState is the per-Run accounting shared by every section of an
+// experiment.
+type runState struct {
+	mu       sync.Mutex
+	start    time.Time
+	sections int
+	total    int
+	done     int
+	skipped  int
+}
+
+func newRunState() *runState { return &runState{start: time.Now()} }
+
+// nextSection assigns the next section ordinal and grows the replication
+// total by the section's size.
+func (st *runState) nextSection(count int) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	idx := st.sections
+	st.sections++
+	st.total += count
+	return idx
+}
+
+// note records one finished replication and emits a progress event. The
+// callback runs under the state lock, so events are serialized; callbacks
+// must be fast and must not re-enter the sweep.
+func (st *runState) note(ck *ckpt, restored bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.done++
+	if restored {
+		st.skipped++
+	}
+	if ck.progress == nil {
+		return
+	}
+	elapsed := time.Since(st.start)
+	ev := Progress{
+		Experiment: ck.experiment,
+		Section:    ck.section,
+		Done:       st.done,
+		Skipped:    st.skipped,
+		Total:      st.total,
+		Elapsed:    elapsed,
+	}
+	if fresh := st.done - st.skipped; fresh > 0 {
+		ev.ETA = elapsed / time.Duration(fresh) * time.Duration(st.total-st.done)
+	}
+	ck.progress(ev)
 }
 
 // DefaultOptions returns the options used by the command-line harness.
@@ -136,8 +222,21 @@ type Variant struct {
 type job struct {
 	series int
 	point  int
+	label  string
 	cfg    config.Config
 	seeds  int
+}
+
+// ckpt is the checkpointing context of one section sweep: where records go,
+// how they are keyed, and who hears about progress.
+type ckpt struct {
+	store        *results.Store // nil: progress reporting only
+	experiment   string
+	section      string
+	sectionIndex int
+	scale        string
+	progress     func(Progress)
+	state        *runState
 }
 
 // LoadSweep runs every variant across the given offered loads, with the
@@ -154,6 +253,17 @@ type job struct {
 // Results are deterministic regardless of scheduling: each point writes only
 // its own slot and every replication owns its configuration and RNG streams.
 func LoadSweep(base config.Config, variants []Variant, loads []float64, seeds, parallelism int) ([]Series, error) {
+	return runSweep(base, variants, loads, seeds, parallelism, nil)
+}
+
+// runSweep is the scheduling core behind LoadSweep and the checkpointed
+// section runner. With ck == nil it behaves exactly like the plain sweep;
+// with a checkpoint context it resolves every replication individually
+// against the results store and persists fresh ones as they finish. Both
+// paths aggregate per-replication results in replication order, so their
+// outputs are bit-identical (sim.RunAveraged is defined as exactly that
+// aggregation).
+func runSweep(base config.Config, variants []Variant, loads []float64, seeds, parallelism int, ck *ckpt) ([]Series, error) {
 	series := make([]Series, len(variants))
 	jobs := make([]job, 0, len(variants)*len(loads))
 	for si, v := range variants {
@@ -167,7 +277,7 @@ func LoadSweep(base config.Config, variants []Variant, loads []float64, seeds, p
 				return nil, fmt.Errorf("sweep: variant %q at load %.2f: %w", v.Label, load, err)
 			}
 			series[si].Points[pi].Load = load
-			jobs = append(jobs, job{series: si, point: pi, cfg: cfg, seeds: seeds})
+			jobs = append(jobs, job{series: si, point: pi, label: v.Label, cfg: cfg, seeds: seeds})
 		}
 	}
 
@@ -186,7 +296,13 @@ func LoadSweep(base config.Config, variants []Variant, loads []float64, seeds, p
 				defer func() { <-sem }()
 			}
 			j := jobs[ji]
-			agg, _, err := sim.RunAveraged(j.cfg, j.seeds)
+			var agg stats.Result
+			var err error
+			if ck == nil {
+				agg, _, err = sim.RunAveraged(j.cfg, j.seeds)
+			} else {
+				agg, err = ck.runPoint(j)
+			}
 			if err != nil {
 				errs[ji] = err
 				return
@@ -201,6 +317,106 @@ func LoadSweep(base config.Config, variants []Variant, loads []float64, seeds, p
 		}
 	}
 	return series, nil
+}
+
+// runPoint resolves one sweep point replication by replication: replications
+// already in the store (same key, same config fingerprint) are restored;
+// missing ones are simulated concurrently on the worker budget and
+// checkpointed the moment they finish. The per-replication results are
+// aggregated in replication order, exactly as sim.RunAveraged does, so a
+// point assembled from any mix of restored and fresh replications is
+// bit-identical to one simulated in a single pass.
+func (ck *ckpt) runPoint(j job) (stats.Result, error) {
+	fp := results.Fingerprint(j.cfg)
+	per := make([]stats.Result, j.seeds)
+	errs := make([]error, j.seeds)
+	var wg sync.WaitGroup
+	for s := 0; s < j.seeds; s++ {
+		key := results.Key{Experiment: ck.experiment, Section: ck.section, Variant: j.label, Load: j.cfg.Load, Seed: s}
+		if ck.store != nil {
+			if rec, ok := ck.store.Get(key, fp); ok {
+				per[s] = rec.Result
+				ck.state.note(ck, true)
+				continue
+			}
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			r, wall, err := sim.RunReplication(j.cfg, s)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			if ck.store != nil {
+				rec := results.Record{
+					Schema:       results.SchemaVersion,
+					Experiment:   ck.experiment,
+					Section:      ck.section,
+					SectionIndex: ck.sectionIndex,
+					Variant:      j.label,
+					VariantIndex: j.series,
+					PointIndex:   j.point,
+					Scale:        ck.scale,
+					Load:         j.cfg.Load,
+					Seed:         s,
+					SimSeed:      sim.ReplicationSeed(j.cfg.Seed, s),
+					Fingerprint:  fp,
+					Result:       r,
+				}
+				if err := ck.store.Put(rec, wall); err != nil {
+					errs[s] = err
+					return
+				}
+			}
+			per[s] = r
+			ck.state.note(ck, false)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats.Result{}, err
+		}
+	}
+	return stats.Aggregate(per), nil
+}
+
+// runSection runs one section (panel) of the current experiment, wiring the
+// checkpoint store and progress reporting in when the options carry them.
+// Experiment runners must route every simulated sweep through this method so
+// that each section receives a stable ordinal and checkpoint key space.
+func (o Options) runSection(title string, base config.Config, variants []Variant, loads []float64) ([]Series, error) {
+	if o.Results == nil && o.Progress == nil {
+		return runSweep(base, variants, loads, o.seeds(), o.parallelism(), nil)
+	}
+	st := o.state
+	if st == nil {
+		st = newRunState()
+	}
+	ck := &ckpt{
+		store:        o.Results,
+		experiment:   o.experiment,
+		section:      title,
+		sectionIndex: st.nextSection(len(variants) * len(loads) * o.seeds()),
+		scale:        o.scaleName(),
+		progress:     o.Progress,
+		state:        st,
+	}
+	return runSweep(base, variants, loads, o.seeds(), o.parallelism(), ck)
+}
+
+// runMaxSection is runSection at full offered load (the bar-chart figures).
+func (o Options) runMaxSection(title string, base config.Config, variants []Variant) ([]Series, error) {
+	return o.runSection(title, base, variants, []float64{1.0})
+}
+
+// scaleName returns the scale's canonical name ("" means small).
+func (o Options) scaleName() string {
+	if o.Scale == "" {
+		return "small"
+	}
+	return o.Scale
 }
 
 // MaxThroughput runs every variant at full offered load and returns the
