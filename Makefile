@@ -15,7 +15,7 @@ BENCH_GATE_PAT  := SmokeSweep|AllowedVCs|RouterStep|InputBufferCycle
 BENCH_GATE_PKGS := . ./internal/router ./internal/buffer
 BENCH_COUNT     ?= 3
 
-.PHONY: build test race lint bench-check bench-baseline ci nightly-sweep
+.PHONY: build test race lint bench-check bench-baseline ci nightly-sweep nightly-transient scenario-smoke
 
 build:
 	$(GO) build ./...
@@ -61,3 +61,21 @@ nightly-sweep:
 	$(GO) run ./cmd/figures run -exp fig5 -scale small -seeds 2 -results $(RESULTS_DIR)
 	$(GO) run ./cmd/figures render -exp fig5 -results $(RESULTS_DIR) -out $(RESULTS_DIR)/fig5.md
 	diff experiments/fig5-small/report.md $(RESULTS_DIR)/fig5.md
+
+# The nightly transient sweep: the small-scale UN->ADV->UN scenario through
+# the checkpointed runner, rendered (windowed telemetry + adaptation lags)
+# and diffed against the committed report so transient-behaviour drift fails
+# loudly.
+RESULTS_DIR_TRANSIENT ?= results/nightly-transient
+nightly-transient:
+	$(GO) run ./cmd/figures run -exp transient -scale small -seeds 2 -results $(RESULTS_DIR_TRANSIENT)
+	$(GO) run ./cmd/figures render -exp transient -results $(RESULTS_DIR_TRANSIENT) -out $(RESULTS_DIR_TRANSIENT)/transient.md
+	diff experiments/transient-small/report.md $(RESULTS_DIR_TRANSIENT)/transient.md
+
+# A quick end-to-end scenario run through flexvcsim -scenario: loads the
+# checked-in scenario JSON, simulates one PB replication and prints the
+# windowed telemetry. Fails if the scenario file, the engine or the renderer
+# break.
+scenario-smoke:
+	$(GO) run ./cmd/flexvcsim -scale small -routing pb -policy baseline -vcs 4/2 \
+		-scenario experiments/transient-small/scenario.json -seeds 1

@@ -22,8 +22,10 @@ import (
 	"flexvc/internal/core"
 	"flexvc/internal/results"
 	"flexvc/internal/routing"
+	"flexvc/internal/scenario"
 	"flexvc/internal/sim"
 	"flexvc/internal/stats"
+	"flexvc/internal/sweep"
 )
 
 func main() {
@@ -50,6 +52,7 @@ func run(args []string) error {
 		bufOrg   = fs.String("buffers", "static", "buffer organisation: static or damq")
 		damqPriv = fs.Float64("damq-private", 0.75, "DAMQ private fraction per VC")
 		load     = fs.Float64("load", 0.5, "offered load in phits/node/cycle")
+		scenF    = fs.String("scenario", "", "JSON scenario file: a phased workload that overrides -traffic/-load and reports windowed transient telemetry")
 		seeds    = fs.Int("seeds", 1, "number of independent replications to average")
 		speedup  = fs.Int("speedup", 0, "router speedup override (0 keeps the scale default)")
 		seed     = fs.Int64("seed", 1, "base random seed")
@@ -70,6 +73,16 @@ func run(args []string) error {
 	cfg.Reactive = *reactive
 	cfg.Load = *load
 	cfg.Seed = *seed
+	if *scenF != "" {
+		sc, err := scenario.Load(*scenF)
+		if err != nil {
+			return err
+		}
+		cfg.Scenario = sc
+		// The scenario carries per-phase loads; report its peak as the
+		// configured offered load.
+		cfg.Load = sc.MaxLoad()
+	}
 	if *tableMB != 0 {
 		cfg.RouteTableBytes = *tableMB << 20
 	}
@@ -121,6 +134,12 @@ func run(args []string) error {
 	if agg.Deadlock {
 		fmt.Println("  WARNING: the deadlock watchdog aborted at least one replication")
 	}
+	if agg.Series != nil {
+		fmt.Print(sweep.RenderTransientText([]sweep.Series{{
+			Label:  "aggregate of " + fmt.Sprint(*seeds) + " seed(s)",
+			Points: []sweep.Point{{Load: cfg.Load, Result: agg}},
+		}}))
+	}
 	if *out != "" {
 		if err := results.WriteSinglePoint(*out, cfg, *scale, agg, runs); err != nil {
 			return fmt.Errorf("writing %s: %w", *out, err)
@@ -153,6 +172,10 @@ func normalizeTraffic(t string) string {
 		return string(config.TrafficAdversarial)
 	case "bursty", "bursty-un", "bursty-uniform":
 		return string(config.TrafficBursty)
+	case "bitrev", "bit-reverse":
+		return string(config.TrafficBitReverse)
+	case "hotspot", "group-hotspot":
+		return string(config.TrafficGroupHotspot)
 	default:
 		return t
 	}

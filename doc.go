@@ -7,8 +7,12 @@
 // FlexVC and FlexVC-minCred buffer-management mechanisms together with the
 // classic distance-based baseline (internal/core), the routing algorithms and
 // traffic patterns of the paper's evaluation (internal/routing,
-// internal/traffic) and an experiment harness that regenerates every table
-// and figure of the evaluation section (internal/sweep, cmd/figures).
+// internal/traffic — extended with permutation/hotspot destinations and
+// phased workloads), a declarative scenario engine for transient experiments
+// (internal/scenario: JSON-loadable phase sequences, windowed telemetry,
+// adaptation-lag analysis) and an experiment harness that regenerates every
+// table and figure of the evaluation section plus the transient family
+// (internal/sweep, cmd/figures).
 //
 // # Execution model
 //

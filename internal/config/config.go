@@ -1,6 +1,3 @@
-// Package config defines the simulation parameters of the FlexVC evaluation
-// and provides presets: the paper's full-scale Dragonfly (Table V) and
-// scaled-down instances usable for tests and continuous benchmarking.
 package config
 
 import (
@@ -9,7 +6,9 @@ import (
 	"flexvc/internal/buffer"
 	"flexvc/internal/core"
 	"flexvc/internal/routing"
+	"flexvc/internal/scenario"
 	"flexvc/internal/topology"
+	"flexvc/internal/traffic"
 )
 
 // TopologyKind selects the simulated network.
@@ -34,6 +33,15 @@ const (
 	TrafficAdversarial TrafficKind = "adv"
 	// TrafficBursty is the Markov ON/OFF bursty-uniform model.
 	TrafficBursty TrafficKind = "bursty-un"
+	// TrafficTranspose, TrafficBitReverse and TrafficShuffle are the classic
+	// bit-permutation patterns (defined on the largest power-of-two node
+	// subset; the remainder falls back to uniform).
+	TrafficTranspose  TrafficKind = "transpose"
+	TrafficBitReverse TrafficKind = "bit-reverse"
+	TrafficShuffle    TrafficKind = "shuffle"
+	// TrafficGroupHotspot concentrates HotspotFraction of the traffic on the
+	// nodes of group HotspotGroup.
+	TrafficGroupHotspot TrafficKind = "group-hotspot"
 )
 
 // Config is the complete parameter set of one simulation.
@@ -82,11 +90,25 @@ type Config struct {
 	Load float64
 	// PacketSize is the packet length in phits.
 	PacketSize int
-	// AvgBurstLength is the mean burst length in packets for BURSTY-UN.
+	// AvgBurstLength is the mean burst length in packets for BURSTY-UN
+	// (>= 1; see doc.go for the defaults).
 	AvgBurstLength float64
+	// HotspotFraction is the fraction of group-hotspot traffic aimed at the
+	// hot group; the rest is uniform.
+	HotspotFraction float64
+	// HotspotGroup is the hot group of group-hotspot traffic (a router index
+	// on single-group topologies).
+	HotspotGroup int
 	// Reactive enables request-reply traffic: destinations answer every
 	// request with a reply to the source.
 	Reactive bool
+
+	// --- Phased scenario ---
+	// Scenario, when non-nil, replaces Traffic/Load with a timed phase
+	// sequence and enables windowed transient telemetry. The run simulates
+	// Scenario.TotalCycles() cycles measured from cycle 0; WarmupCycles and
+	// MeasureCycles are ignored.
+	Scenario *scenario.Scenario
 
 	// --- Precomputed route tables ---
 	// RouteTableBytes is the memory gate for the precomputed per-pair route
@@ -141,6 +163,7 @@ func Default() Config {
 		Load:             0.5,
 		PacketSize:       8,
 		AvgBurstLength:   5,
+		HotspotFraction:  0.25,
 		WarmupCycles:     10000,
 		MeasureCycles:    60000,
 		Seed:             1,
@@ -274,6 +297,25 @@ func (c Config) Validate() error {
 	if c.WarmupCycles < 0 || c.MeasureCycles <= 0 {
 		return fmt.Errorf("config: invalid warmup/measurement windows")
 	}
+	if c.Traffic == TrafficBursty && c.AvgBurstLength < 1 {
+		return fmt.Errorf("config: bursty-un traffic needs AvgBurstLength >= 1 packet, got %g (the paper's Table V uses 5)", c.AvgBurstLength)
+	}
+	if c.HotspotFraction < 0 || c.HotspotFraction > 1 {
+		return fmt.Errorf("config: hotspot fraction %.3f outside [0,1]", c.HotspotFraction)
+	}
+	if c.Traffic == TrafficGroupHotspot && c.HotspotGroup < 0 {
+		return fmt.Errorf("config: hotspot group must be non-negative, got %d", c.HotspotGroup)
+	}
+	if c.Scenario != nil {
+		if err := c.Scenario.Validate(); err != nil {
+			return err
+		}
+		for i, p := range c.Scenario.Phases {
+			if name, _ := traffic.CanonicalPattern(p.Pattern); name == traffic.NameBursty && p.AvgBurstLength == 0 && c.AvgBurstLength < 1 {
+				return fmt.Errorf("config: scenario phase %d inherits AvgBurstLength %g; bursty phases need >= 1 packet", i, c.AvgBurstLength)
+			}
+		}
+	}
 	topo, err := c.BuildTopology()
 	if err != nil {
 		return err
@@ -312,6 +354,10 @@ func (c Config) Validate() error {
 
 // Describe returns a short human-readable summary of the configuration.
 func (c Config) Describe() string {
+	if c.Scenario != nil {
+		return fmt.Sprintf("%s %s routing=%s sensing=%s scenario=%s reactive=%v buffers=%s speedup=%dx",
+			c.Topology, c.Scheme, c.Routing, c.Sensing, c.Scenario.Describe(), c.Reactive, c.BufferOrg, c.Speedup)
+	}
 	return fmt.Sprintf("%s %s routing=%s sensing=%s traffic=%s load=%.2f reactive=%v buffers=%s speedup=%dx",
 		c.Topology, c.Scheme, c.Routing, c.Sensing, c.Traffic, c.Load, c.Reactive, c.BufferOrg, c.Speedup)
 }

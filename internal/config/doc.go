@@ -1,0 +1,32 @@
+// Package config defines the simulation parameters of the FlexVC evaluation
+// and provides presets: the paper's full-scale Dragonfly (Table V) and
+// scaled-down instances usable for tests and continuous benchmarking.
+//
+// # Traffic parameters and their defaults
+//
+// Traffic selects the synthetic pattern; Load is the offered load in
+// phits/node/cycle and PacketSize the packet length in phits. The presets
+// (Default/Paper, Medium, Small, Tiny) share the paper's traffic defaults:
+//
+//   - Load 0.5, PacketSize 8 phits.
+//   - AvgBurstLength 5 packets — the mean ON-burst length of the BURSTY-UN
+//     two-state Markov model (Table V). It must be at least 1 packet;
+//     Validate rejects smaller values up front instead of letting the
+//     generator clamp them silently.
+//   - HotspotFraction 0.25 — the fraction of group-hotspot traffic aimed at
+//     the hot group (the remainder is uniform). HotspotGroup 0 selects the
+//     hot group (a router index on single-group topologies). Validate
+//     requires the fraction to stay within [0,1]; the group index is checked
+//     against the topology when the generator is built.
+//
+// # Phased scenarios
+//
+// Scenario, when non-nil, replaces the single (Traffic, Load) pair with a
+// timed sequence of phases (see internal/scenario): the run simulates
+// exactly Scenario.TotalCycles() cycles, measures from cycle 0, and reports
+// windowed transient telemetry alongside the steady-state summary.
+// WarmupCycles and MeasureCycles are ignored for scenario runs. The scenario
+// is part of the configuration value, so config fingerprints (and therefore
+// checkpoint reuse in internal/results) distinguish scenario runs exactly
+// like any other parameter change.
+package config

@@ -1,0 +1,79 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"flexvc/internal/scenario"
+)
+
+// TestValidateTrafficParams covers the traffic-parameter validation added
+// alongside the scenario engine: bursty burst lengths and hotspot parameters
+// fail Validate with actionable messages instead of being clamped later.
+func TestValidateTrafficParams(t *testing.T) {
+	c := Small()
+	c.Traffic = TrafficBursty
+	c.AvgBurstLength = 0.5
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "AvgBurstLength") {
+		t.Errorf("short burst length not rejected: %v", err)
+	}
+	c.AvgBurstLength = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero burst length accepted for bursty traffic")
+	}
+	c.AvgBurstLength = 1
+	if err := c.Validate(); err != nil {
+		t.Errorf("burst length 1 should be valid: %v", err)
+	}
+
+	c = Small()
+	c.Traffic = TrafficGroupHotspot
+	c.HotspotFraction = 1.5
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "hotspot") {
+		t.Errorf("hotspot fraction 1.5 not rejected: %v", err)
+	}
+	c.HotspotFraction = 0.25
+	c.HotspotGroup = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative hotspot group accepted")
+	}
+	c.HotspotGroup = 0
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid hotspot config rejected: %v", err)
+	}
+
+	// The permutation patterns need no extra parameters.
+	for _, k := range []TrafficKind{TrafficTranspose, TrafficBitReverse, TrafficShuffle} {
+		c := Small()
+		c.Traffic = k
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", k, err)
+		}
+	}
+}
+
+// TestValidateScenario checks that scenario validation runs through
+// config.Validate, including the burst-length inheritance rule.
+func TestValidateScenario(t *testing.T) {
+	c := Small()
+	c.Scenario = scenario.UNToADV(0.4, 2000, 2000, 2000, 500)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	c.Scenario.Phases[1].Load = 2
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "load") {
+		t.Errorf("bad scenario load not rejected: %v", err)
+	}
+	c.Scenario = &scenario.Scenario{
+		Window: 500,
+		Phases: []scenario.Phase{{Pattern: "bursty-un", Load: 0.3, Cycles: 2000}},
+	}
+	c.AvgBurstLength = 0
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "inherits") {
+		t.Errorf("bursty phase inheriting an invalid burst length not rejected: %v", err)
+	}
+	c.AvgBurstLength = 5
+	if err := c.Validate(); err != nil {
+		t.Errorf("bursty scenario with inherited burst length rejected: %v", err)
+	}
+}

@@ -1,0 +1,70 @@
+package results
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flexvc/internal/stats"
+)
+
+// TestSchemaV1StillReads pins the read compatibility promise of the v2 bump:
+// v1 records (no time series) validate and load, and a v1 export file renders
+// through LoadFile, so checked-in v1 experiment results stay usable.
+func TestSchemaV1StillReads(t *testing.T) {
+	rec := Record{
+		Schema:      1,
+		Experiment:  "fig5",
+		Section:     "(a)",
+		Variant:     "Baseline 2/1",
+		Scale:       "small",
+		Load:        0.5,
+		Fingerprint: "abcd",
+		Result:      stats.Result{OfferedLoad: 0.5, AcceptedLoad: 0.49},
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("v1 record rejected: %v", err)
+	}
+	if err := (Record{Schema: 0}).Validate(); err == nil {
+		t.Error("schema 0 accepted")
+	}
+	if err := (Record{Schema: SchemaVersion + 1, Experiment: "x", Variant: "y", Fingerprint: "z"}).Validate(); err == nil {
+		t.Error("future schema accepted")
+	}
+	// A corrupt (ragged) time series must fail record validation instead of
+	// panicking later in rendering or aggregation.
+	ragged := rec
+	ragged.Schema = SchemaVersion
+	ragged.Result.Series = &stats.TimeSeries{Window: 100, Nodes: 2, Runs: 1, Packets: make([]int64, 4), Phits: make([]int64, 1)}
+	if err := ragged.Validate(); err == nil {
+		t.Error("ragged time series accepted")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig5.results.json")
+	v1 := `{"schema":1,"experiment":"fig5","scale":"small","seeds":1,"records":[
+{"schema":1,"experiment":"fig5","section":"(a)","section_index":0,"variant":"Baseline 2/1","variant_index":0,"point_index":0,"scale":"small","load":0.5,"seed":0,"sim_seed":1,"fingerprint":"abcd","result":{"offered_load":0.5,"accepted_load":0.49,"avg_latency":30,"avg_net_latency":25,"p50":28,"p95":60,"p99":80,"max_latency":120,"delivered_packets":100,"avg_hops":2,"minimal_fraction":1,"request_packets":100,"reply_packets":0,"deadlock":false,"simulated_cycles":1000}}
+]}` + "\n"
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("v1 file rejected: %v", err)
+	}
+	if len(f.Records) != 1 || f.Records[0].Result.AcceptedLoad != 0.49 {
+		t.Fatalf("v1 file misread: %+v", f)
+	}
+	if f.Records[0].Result.Series != nil {
+		t.Error("v1 record grew a time series out of nowhere")
+	}
+
+	bad := strings.Replace(v1, `{"schema":1,"experiment":"fig5","scale"`, `{"schema":99,"experiment":"fig5","scale"`, 1)
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Error("future-schema file accepted")
+	}
+}

@@ -28,9 +28,20 @@ import (
 	"flexvc/internal/stats"
 )
 
-// SchemaVersion is the version of the on-disk JSON schema. Readers reject
-// files written by a different version instead of guessing.
-const SchemaVersion = 1
+// SchemaVersion is the version of the on-disk JSON schema. Writers always
+// stamp the current version; readers accept [MinReadSchema, SchemaVersion]
+// and reject anything else instead of guessing.
+//
+// History:
+//
+//	v1 — initial schema (PR 3).
+//	v2 — additive: stats.Result gained the optional windowed time series
+//	     (`time_series`) of scenario-driven transient runs. v1 files decode
+//	     cleanly (the field is simply absent), so MinReadSchema stays 1.
+const SchemaVersion = 2
+
+// MinReadSchema is the oldest schema version this build still reads.
+const MinReadSchema = 1
 
 // Key identifies one replication of one sweep point. Seed is the replication
 // index (0-based); the PRNG seed actually used is derived from it (see
@@ -71,8 +82,8 @@ func (r Record) Key() Key {
 
 // Validate checks a record for schema and internal consistency.
 func (r Record) Validate() error {
-	if r.Schema != SchemaVersion {
-		return fmt.Errorf("results: record schema v%d, this build reads v%d", r.Schema, SchemaVersion)
+	if r.Schema < MinReadSchema || r.Schema > SchemaVersion {
+		return fmt.Errorf("results: record schema v%d, this build reads v%d..v%d", r.Schema, MinReadSchema, SchemaVersion)
 	}
 	if r.Experiment == "" || r.Variant == "" {
 		return fmt.Errorf("results: record missing experiment or variant")
@@ -82,6 +93,11 @@ func (r Record) Validate() error {
 	}
 	if r.Seed < 0 || r.SectionIndex < 0 || r.VariantIndex < 0 || r.PointIndex < 0 {
 		return fmt.Errorf("results: record has negative ordinal")
+	}
+	if r.Result.Series != nil {
+		if err := r.Result.Series.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -128,8 +144,8 @@ func LoadFile(path string) (*File, error) {
 	if err := json.Unmarshal(b, &f); err != nil {
 		return nil, fmt.Errorf("results: %s: %w", path, err)
 	}
-	if f.Schema != SchemaVersion {
-		return nil, fmt.Errorf("results: %s: schema v%d, this build reads v%d", path, f.Schema, SchemaVersion)
+	if f.Schema < MinReadSchema || f.Schema > SchemaVersion {
+		return nil, fmt.Errorf("results: %s: schema v%d, this build reads v%d..v%d", path, f.Schema, MinReadSchema, SchemaVersion)
 	}
 	for i, r := range f.Records {
 		if err := r.Validate(); err != nil {

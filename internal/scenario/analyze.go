@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"math"
+
+	"flexvc/internal/stats"
+)
+
+// LagShiftThreshold is the minimal settled-value shift of the
+// minimally-routed fraction that counts as an adaptation (smaller changes
+// are noise: a routing mode that ignores the traffic switch, like MIN or
+// VAL, moves less than this).
+const LagShiftThreshold = 0.05
+
+// Lag is the transient analysis of one phase switch: how long the routing
+// mode took to move its minimally-routed fraction from the pre-switch
+// settled value to the post-switch settled value.
+type Lag struct {
+	// MarkIndex is the index of the phase mark analysed (>= 1).
+	MarkIndex int
+	// At is the cycle of the switch and Label the phase switched to.
+	At    int64
+	Label string
+	// Pre and Post are the settled minimally-routed fractions: the mean over
+	// the second half of the previous and of the new phase.
+	Pre, Post float64
+	// Shifted reports whether |Post-Pre| reached LagShiftThreshold.
+	Shifted bool
+	// Crossed reports whether the midpoint between Pre and Post was actually
+	// crossed within the phase. When Shifted is true but Crossed is false
+	// (possible only when empty windows hide the crossing), Cycles is the
+	// full phase length and must be read as a lower bound.
+	Crossed bool
+	// Cycles is the adaptation lag: cycles from the switch until the end of
+	// the first window whose minimal fraction crossed the midpoint between
+	// Pre and Post. It is 0 when the mode never shifted, and the full phase
+	// length when the midpoint was never crossed (see Crossed).
+	Cycles int64
+}
+
+// AdaptationLags analyses every phase switch of a recorded series. The
+// series must carry phase marks (scenario runs always do); without marks, or
+// with fewer than two phases, it returns nil.
+//
+// The lag definition is conservative and windowing-robust: "settled" values
+// are means over the second half of a phase (skipping empty windows), the
+// crossing test uses the midpoint (Pre+Post)/2, and the reported lag is
+// measured to the END of the crossing window, since sub-window timing is not
+// recorded.
+func AdaptationLags(ts *stats.TimeSeries) []Lag {
+	if ts == nil || len(ts.Marks) < 2 {
+		return nil
+	}
+	bounds := make([]int, len(ts.Marks)+1) // window index of each phase start
+	for i, m := range ts.Marks {
+		bounds[i] = int(m.Cycle / ts.Window)
+	}
+	bounds[len(ts.Marks)] = ts.Windows()
+
+	lags := make([]Lag, 0, len(ts.Marks)-1)
+	for k := 1; k < len(ts.Marks); k++ {
+		m := ts.Marks[k]
+		lag := Lag{
+			MarkIndex: k,
+			At:        m.Cycle,
+			Label:     m.Label,
+			Pre:       settledMinimalFraction(ts, bounds[k-1], bounds[k]),
+			Post:      settledMinimalFraction(ts, bounds[k], bounds[k+1]),
+		}
+		if !math.IsNaN(lag.Pre) && !math.IsNaN(lag.Post) && math.Abs(lag.Post-lag.Pre) >= LagShiftThreshold {
+			lag.Shifted = true
+			lag.Cycles = int64(bounds[k+1]-bounds[k]) * ts.Window // never crossed
+			mid := (lag.Pre + lag.Post) / 2
+			for w := bounds[k]; w < bounds[k+1]; w++ {
+				f := ts.MinimalFraction(w)
+				if math.IsNaN(f) {
+					continue
+				}
+				if (lag.Post > lag.Pre && f >= mid) || (lag.Post < lag.Pre && f <= mid) {
+					lag.Crossed = true
+					lag.Cycles = int64(w+1)*ts.Window - m.Cycle
+					break
+				}
+			}
+		}
+		lags = append(lags, lag)
+	}
+	return lags
+}
+
+// settledMinimalFraction is the mean minimally-routed fraction over the
+// second half of the window range [from, to), skipping empty windows. NaN
+// when every window in the half is empty.
+func settledMinimalFraction(ts *stats.TimeSeries, from, to int) float64 {
+	half := from + (to-from)/2
+	if half >= to {
+		half = from
+	}
+	sum, n := 0.0, 0
+	for w := half; w < to; w++ {
+		f := ts.MinimalFraction(w)
+		if math.IsNaN(f) {
+			continue
+		}
+		sum += f
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

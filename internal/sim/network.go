@@ -90,15 +90,28 @@ func New(cfg config.Config) (*Network, error) {
 	}
 	n := &Network{cfg: cfg, topo: topo, scheme: cfg.Scheme, pool: &packet.Pool{}}
 
-	// Traffic.
-	gen, err := traffic.New(string(cfg.Traffic), traffic.Params{
-		Topo:           topo,
-		Load:           cfg.Load,
-		PacketSize:     cfg.PacketSize,
-		Seed:           cfg.Seed,
-		AvgBurstLength: cfg.AvgBurstLength,
-		Pool:           n.pool,
-	}, cfg.Reactive)
+	// Traffic: a single open-loop pattern, or — when the configuration
+	// carries a scenario — a phased Switchable generator that swaps pattern
+	// and load at the scenario's cycle boundaries.
+	tp := traffic.Params{
+		Topo:            topo,
+		Load:            cfg.Load,
+		PacketSize:      cfg.PacketSize,
+		Seed:            cfg.Seed,
+		AvgBurstLength:  cfg.AvgBurstLength,
+		HotspotFraction: cfg.HotspotFraction,
+		HotspotGroup:    cfg.HotspotGroup,
+		Pool:            n.pool,
+	}
+	var gen traffic.Generator
+	if cfg.Scenario != nil {
+		gen, err = traffic.NewSwitchable(tp, cfg.Scenario.TrafficPhases())
+		if err == nil && cfg.Reactive {
+			gen = traffic.NewReactive(gen, tp)
+		}
+	} else {
+		gen, err = traffic.New(string(cfg.Traffic), tp, cfg.Reactive)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +167,17 @@ func New(cfg config.Config) (*Network, error) {
 
 	measureStart := cfg.WarmupCycles
 	measureEnd := cfg.WarmupCycles + cfg.MeasureCycles
+	if cfg.Scenario != nil {
+		// Transient runs measure from cycle 0: the non-steady state around
+		// phase switches is the signal, not something to warm past.
+		measureStart, measureEnd = 0, cfg.Scenario.TotalCycles()
+	}
 	n.collector = stats.NewCollector(topo.NumNodes(), measureStart, measureEnd)
+	if cfg.Scenario != nil {
+		if err := n.collector.EnableTimeSeries(cfg.Scenario.Window, measureEnd, cfg.Scenario.Marks()); err != nil {
+			return nil, err
+		}
+	}
 	return n, nil
 }
 

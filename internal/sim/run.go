@@ -13,6 +13,9 @@ import (
 // watchdog fires) and returns the run summary.
 func (n *Network) Run() stats.Result {
 	total := n.cfg.WarmupCycles + n.cfg.MeasureCycles
+	if n.cfg.Scenario != nil {
+		total = n.cfg.Scenario.TotalCycles()
+	}
 	if n.cfg.MaxCycles > 0 && n.cfg.MaxCycles < total {
 		total = n.cfg.MaxCycles
 	}

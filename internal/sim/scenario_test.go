@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"flexvc/internal/config"
+	"flexvc/internal/core"
+	"flexvc/internal/routing"
+	"flexvc/internal/scenario"
+)
+
+// scenarioConfig is a Small-scale configuration driven by a short UN→ADV→UN
+// scenario, with the 4/2 VC set every routing mode of the transient
+// experiment family can run on.
+func scenarioConfig(alg routing.Kind) config.Config {
+	cfg := config.Small()
+	cfg.Routing = alg
+	cfg.Scheme = core.Scheme{Policy: core.Baseline, VCs: core.SingleClass(4, 2), Selection: core.JSQ}
+	cfg.Scenario = scenario.UNToADV(0.3, 3000, 4000, 3000, 500)
+	cfg.Load = cfg.Scenario.MaxLoad()
+	return cfg
+}
+
+// TestScenarioRunDeterministic locks the scenario determinism contract at
+// the whole-simulation level: two runs of the same scenario configuration
+// produce identical results, including the windowed series.
+func TestScenarioRunDeterministic(t *testing.T) {
+	cfg := scenarioConfig(routing.MIN)
+	a, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two runs of the same scenario disagree")
+	}
+	if a.Series == nil {
+		t.Fatal("scenario run carried no time series")
+	}
+	if a.Series.Windows() != 20 {
+		t.Fatalf("got %d windows, want 20", a.Series.Windows())
+	}
+	if len(a.Series.Marks) != 3 {
+		t.Fatalf("got %d phase marks, want 3", len(a.Series.Marks))
+	}
+	if a.SimulatedCycles != cfg.Scenario.TotalCycles() {
+		t.Errorf("simulated %d cycles, want the scenario's %d", a.SimulatedCycles, cfg.Scenario.TotalCycles())
+	}
+}
+
+// settled returns the mean minimal fraction over the second half of the
+// window range [from, to).
+func settled(t *testing.T, r interface {
+	MinimalFraction(int) float64
+}, from, to int) float64 {
+	t.Helper()
+	sum, n := 0.0, 0
+	for w := from + (to-from)/2; w < to; w++ {
+		f := r.MinimalFraction(w)
+		if math.IsNaN(f) {
+			continue
+		}
+		sum += f
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no populated windows in range")
+	}
+	return sum / float64(n)
+}
+
+// TestScenarioTransientAdaptation is the end-to-end transient check behind
+// the transient experiment: across a UN→ADV switch, Piggyback's
+// minimally-routed fraction collapses (it re-diverts traffic onto Valiant
+// paths) while static MIN and VAL stay flat, and the measured adaptation lag
+// is positive and bounded by the ADV phase.
+func TestScenarioTransientAdaptation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-mode scenario simulation")
+	}
+	// Windows 0..5 are the UN phase, 6..13 ADV, 14..19 UN again.
+	run := func(alg routing.Kind) (unFrac, advFrac float64, lags []scenario.Lag) {
+		r, err := RunOne(scenarioConfig(alg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Series == nil {
+			t.Fatal("no series")
+		}
+		return settled(t, r.Series, 0, 6), settled(t, r.Series, 6, 14), scenario.AdaptationLags(r.Series)
+	}
+
+	minUN, minADV, minLags := run(routing.MIN)
+	if minUN < 0.999 || minADV < 0.999 {
+		t.Errorf("MIN should stay fully minimal (un %.3f adv %.3f)", minUN, minADV)
+	}
+	for _, l := range minLags {
+		if l.Shifted {
+			t.Errorf("MIN reported an adaptation shift: %+v", l)
+		}
+	}
+
+	valUN, valADV, valLags := run(routing.VAL)
+	if math.Abs(valUN-valADV) >= 0.1 {
+		t.Errorf("VAL minimal fraction moved across the switch (un %.3f adv %.3f)", valUN, valADV)
+	}
+	_ = valLags
+
+	pbUN, pbADV, pbLags := run(routing.PB)
+	if pbUN < 0.8 {
+		t.Errorf("PB under UN should route mostly minimally, got %.3f", pbUN)
+	}
+	if pbADV > pbUN-0.3 {
+		t.Errorf("PB minimal fraction did not collapse after UN→ADV (un %.3f adv %.3f)", pbUN, pbADV)
+	}
+	if len(pbLags) != 2 {
+		t.Fatalf("got %d PB lags, want 2", len(pbLags))
+	}
+	onset := pbLags[0]
+	if !onset.Shifted {
+		t.Fatalf("PB UN→ADV switch not detected as a shift: %+v", onset)
+	}
+	if onset.Cycles <= 0 || onset.Cycles > 4000 {
+		t.Errorf("PB adaptation lag %d cycles outside (0, 4000]", onset.Cycles)
+	}
+}

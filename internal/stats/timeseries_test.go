@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"flexvc/internal/packet"
+)
+
+func marks() []PhaseMark {
+	return []PhaseMark{{Cycle: 0, Label: "un@0.40"}, {Cycle: 200, Label: "adv@0.40"}}
+}
+
+func TestTimeSeriesBounds(t *testing.T) {
+	if _, err := NewTimeSeries(0, 100, 4, nil); err == nil {
+		t.Error("accepted a zero window")
+	}
+	if _, err := NewTimeSeries(30, 100, 4, nil); err == nil {
+		t.Error("accepted a window that does not divide the span")
+	}
+	_, err := NewTimeSeries(1, MaxTimeSeriesWindows+1, 4, nil)
+	if err == nil || !strings.Contains(err.Error(), "at least") {
+		t.Errorf("window bound violation not rejected with sizing hint: %v", err)
+	}
+	ts, err := NewTimeSeries(100, 800, 4, marks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Windows() != 8 || ts.WindowStart(3) != 300 {
+		t.Errorf("windows=%d start(3)=%d, want 8 and 300", ts.Windows(), ts.WindowStart(3))
+	}
+}
+
+func TestTimeSeriesRecordAndDerived(t *testing.T) {
+	ts, err := NewTimeSeries(100, 400, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Record(0, 8, true, 20)
+	ts.Record(99, 8, false, 40)
+	ts.Record(250, 8, true, 10)
+	ts.Record(9999, 8, true, 10) // past the span: clamps into the last window
+	if got := ts.Accepted(0); got != 16.0/(100*2) {
+		t.Errorf("Accepted(0) = %v", got)
+	}
+	if got := ts.MeanLatency(0); got != 30 {
+		t.Errorf("MeanLatency(0) = %v, want 30", got)
+	}
+	if got := ts.MinimalFraction(0); got != 0.5 {
+		t.Errorf("MinimalFraction(0) = %v, want 0.5", got)
+	}
+	if !math.IsNaN(ts.MeanLatency(1)) || !math.IsNaN(ts.MinimalFraction(1)) {
+		t.Error("empty window should report NaN latency and minimal fraction")
+	}
+	if ts.Packets[3] != 1 {
+		t.Error("out-of-span delivery did not clamp into the last window")
+	}
+}
+
+func TestTimeSeriesMerge(t *testing.T) {
+	a, _ := NewTimeSeries(100, 400, 2, marks())
+	b, _ := NewTimeSeries(100, 400, 2, marks())
+	a.Record(50, 8, true, 20)
+	b.Record(50, 8, false, 40)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Runs != 2 || a.Packets[0] != 2 || a.MinRouted[0] != 1 {
+		t.Errorf("merge sums wrong: %+v", a)
+	}
+	// Throughput is per replication: two runs each delivering 8 phits in a
+	// 100-cycle window over 2 nodes average to the single-run value.
+	if got := a.Accepted(0); got != 8.0/(100*2) {
+		t.Errorf("merged Accepted(0) = %v", got)
+	}
+	for _, bad := range []*TimeSeries{
+		{Window: 50, Nodes: 2, Runs: 1, Packets: make([]int64, 8), Phits: make([]int64, 8), LatencySum: make([]float64, 8), MinRouted: make([]int64, 8)},
+		{Window: 100, Nodes: 3, Runs: 1, Packets: make([]int64, 4), Phits: make([]int64, 4), LatencySum: make([]float64, 4), MinRouted: make([]int64, 4)},
+	} {
+		if err := a.Merge(bad); err == nil {
+			t.Errorf("merge accepted mismatched series %+v", bad)
+		}
+	}
+	c, _ := NewTimeSeries(100, 400, 2, []PhaseMark{{Cycle: 0, Label: "other"}})
+	if err := a.Merge(c); err == nil {
+		t.Error("merge accepted diverging phase marks")
+	}
+}
+
+// TestTimeSeriesValidate covers the load-time structural checks guarding
+// deserialized results records against ragged or corrupt series.
+func TestTimeSeriesValidate(t *testing.T) {
+	good, _ := NewTimeSeries(100, 800, 2, marks())
+	if err := good.Validate(); err != nil {
+		t.Fatalf("fresh series invalid: %v", err)
+	}
+	bad := func(f func(*TimeSeries)) *TimeSeries {
+		c := good.Clone()
+		f(c)
+		return c
+	}
+	cases := map[string]*TimeSeries{
+		"zero window":    bad(func(c *TimeSeries) { c.Window = 0 }),
+		"zero nodes":     bad(func(c *TimeSeries) { c.Nodes = 0 }),
+		"zero runs":      bad(func(c *TimeSeries) { c.Runs = 0 }),
+		"ragged phits":   bad(func(c *TimeSeries) { c.Phits = c.Phits[:1] }),
+		"ragged latency": bad(func(c *TimeSeries) { c.LatencySum = append(c.LatencySum, 0) }),
+		"empty arrays":   bad(func(c *TimeSeries) { c.Phits, c.Packets, c.LatencySum, c.MinRouted = nil, nil, nil, nil }),
+		"mark disorder":  bad(func(c *TimeSeries) { c.Marks = []PhaseMark{{Cycle: 300}, {Cycle: 100}} }),
+		"mark past span": bad(func(c *TimeSeries) { c.Marks = []PhaseMark{{Cycle: 0}, {Cycle: 800}} }),
+	}
+	for name, ts := range cases {
+		if err := ts.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func TestTimeSeriesJSONRoundTrip(t *testing.T) {
+	ts, _ := NewTimeSeries(100, 400, 2, marks())
+	ts.Record(10, 8, true, 25)
+	ts.Record(350, 8, false, 75)
+	b1, err := json.Marshal(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TimeSeries
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ts, &back) {
+		t.Fatalf("round trip changed the series:\n%+v\n%+v", ts, &back)
+	}
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Error("re-encoding is not byte-identical")
+	}
+}
+
+func TestCollectorTimeSeries(t *testing.T) {
+	c := NewCollector(2, 0, 400)
+	if err := c.EnableTimeSeries(100, 400, marks()); err != nil {
+		t.Fatal(err)
+	}
+	p := packet.New(1, 0, 1, 8, packet.Request, 10)
+	p.InjectTime = 12
+	p.RecvTime = 50
+	c.Delivered(p, 50)
+	q := packet.New(2, 1, 0, 8, packet.Request, 200)
+	q.InjectTime = 202
+	q.RecvTime = 260
+	q.Route.Kind = packet.Nonminimal
+	c.Delivered(q, 260)
+	res := c.Summarize(0.5, 400, false)
+	if res.Series == nil {
+		t.Fatal("summary lost the time series")
+	}
+	if res.Series.Packets[0] != 1 || res.Series.Packets[2] != 1 {
+		t.Errorf("windows misrecorded: %+v", res.Series.Packets)
+	}
+	if res.Series.MinRouted[2] != 0 || res.Series.MinRouted[0] != 1 {
+		t.Errorf("minimal counts misrecorded: %+v", res.Series.MinRouted)
+	}
+	// The attached series is a clone: further deliveries must not mutate it.
+	r := packet.New(3, 0, 1, 8, packet.Request, 300)
+	r.RecvTime = 399
+	c.Delivered(r, 399)
+	if res.Series.Packets[3] != 0 {
+		t.Error("summary series aliases the live collector")
+	}
+
+	// Aggregating results merges their series; mismatched series are dropped.
+	res2 := c.Summarize(0.5, 400, false)
+	agg := Aggregate([]Result{res, res2})
+	if agg.Series == nil || agg.Series.Runs != 2 {
+		t.Fatalf("aggregate series missing or wrong run count: %+v", agg.Series)
+	}
+	other, _ := NewTimeSeries(50, 400, 2, nil)
+	bad := res2
+	bad.Series = other
+	if agg := Aggregate([]Result{res, bad, res2}); agg.Series != nil {
+		t.Error("aggregate over mismatched series should drop the series")
+	}
+}

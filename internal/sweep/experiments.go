@@ -67,6 +67,7 @@ func Registry() map[string]Experiment {
 		{"fig9", "Throughput at full load vs VC selection function (UN request-reply)", false, runFig9},
 		{"fig10", "DAMQ private-reservation sweep under UN traffic with MIN routing", false, runFig10},
 		{"fig11", "Maximum throughput vs buffer capacity without router speedup", false, runFig11},
+		{"transient", "Transient response to a UN -> ADV -> UN traffic shift (windowed telemetry)", false, runTransient},
 	}
 	m := make(map[string]Experiment, len(exps))
 	for _, e := range exps {

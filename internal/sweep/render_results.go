@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"flexvc/internal/results"
+	"flexvc/internal/scenario"
 	"flexvc/internal/stats"
 )
 
@@ -140,9 +141,11 @@ func ReportFromResults(f *results.File) (*Report, error) {
 	}
 	rep := &Report{ID: f.Experiment, Title: title}
 	for _, sec := range sections {
+		// Transient sections carry windowed telemetry; render it exactly as
+		// the live run does so rebuilt and live reports stay identical.
 		rep.Sections = append(rep.Sections, Section{
 			Title:  sec.title,
-			Body:   RenderSeries(sec.title, sec.series),
+			Body:   RenderSeries(sec.title, sec.series) + RenderTransientText(sec.series),
 			Series: sec.series,
 		})
 		for _, inc := range sec.incomplete {
@@ -186,8 +189,74 @@ func RenderResultsMarkdown(f *results.File) (string, error) {
 		}
 		renderLoadTableMarkdown(&b, sec.series)
 		renderSaturationMarkdown(&b, f.Experiment, sec)
+		renderTransientMarkdown(&b, sec.series)
 	}
 	return b.String(), nil
+}
+
+// renderTransientMarkdown writes the windowed-telemetry table and the
+// adaptation-lag summary of a transient section; sections without telemetry
+// render nothing.
+func renderTransientMarkdown(b *strings.Builder, series []Series) {
+	ref := firstTransientSeries(series)
+	if ref == nil {
+		return
+	}
+	fmt.Fprintf(b, "#### Windowed telemetry (window %d cycles)\n\n", ref.Window)
+	if len(ref.Marks) > 0 {
+		parts := make([]string, len(ref.Marks))
+		for i, m := range ref.Marks {
+			parts[i] = fmt.Sprintf("`%s` @ %d", m.Label, m.Cycle)
+		}
+		fmt.Fprintf(b, "Phases: %s.\n\n", strings.Join(parts, ", "))
+	}
+	fmt.Fprintf(b, "| cycle |")
+	for _, s := range series {
+		fmt.Fprintf(b, " %s acc | lat | min%% |", s.Label)
+	}
+	fmt.Fprintf(b, "\n|---|")
+	for range series {
+		fmt.Fprintf(b, "---|---|---|")
+	}
+	fmt.Fprintln(b)
+	for w := 0; w < ref.Windows(); w++ {
+		fmt.Fprintf(b, "| %d |", ref.WindowStart(w))
+		for _, s := range series {
+			ts := transientSeriesOf(s)
+			if ts == nil || w >= ts.Windows() {
+				fmt.Fprintf(b, " - | - | - |")
+				continue
+			}
+			fmt.Fprintf(b, " %.3f | %s | %s |", ts.Accepted(w),
+				fmtOr(ts.MeanLatency(w), "%.1f", "-"), fmtOr(100*ts.MinimalFraction(w), "%.1f", "-"))
+		}
+		fmt.Fprintln(b)
+	}
+	fmt.Fprintln(b)
+
+	var rows strings.Builder
+	for _, s := range series {
+		for _, l := range scenario.AdaptationLags(transientSeriesOf(s)) {
+			lag := "no shift"
+			switch {
+			case l.Shifted && l.Crossed:
+				lag = fmt.Sprintf("%d", l.Cycles)
+			case l.Shifted:
+				lag = fmt.Sprintf("> %d", l.Cycles)
+			}
+			fmt.Fprintf(&rows, "| %s | %s | %d | %s | %s | %s |\n", s.Label, l.Label, l.At,
+				fmtOr(100*l.Pre, "%.1f", "-"), fmtOr(100*l.Post, "%.1f", "-"), lag)
+		}
+	}
+	if rows.Len() == 0 {
+		// Single-phase scenarios have no switches to analyse.
+		return
+	}
+	fmt.Fprintf(b, "#### Adaptation lag\n\n")
+	fmt.Fprintf(b, "Cycles from a phase switch until the settled minimal-fraction midpoint is crossed (shift threshold %.2f).\n\n", scenario.LagShiftThreshold)
+	fmt.Fprintf(b, "| variant | switch | at cycle | min%% before | min%% after | lag (cycles) |\n|---|---|---|---|---|---|\n")
+	b.WriteString(rows.String())
+	fmt.Fprintln(b)
 }
 
 // renderLoadTableMarkdown writes the offered-load table: per variant, the
@@ -244,15 +313,17 @@ func renderLoadTableMarkdown(b *strings.Builder, series []Series) {
 }
 
 // renderSaturationMarkdown writes the saturation-throughput summary: measured
-// max accepted load, improvement relative to the section's first variant (the
-// baseline), the paper's improvement for that variant where the reference
-// table has one, and the measured-minus-paper delta in percentage points.
+// max accepted load with the latency percentiles at that point (recomputed
+// from the point's merged histogram where recorded), improvement relative to
+// the section's first variant (the baseline), the paper's improvement for
+// that variant where the reference table has one, and the measured-minus-
+// paper delta in percentage points.
 func renderSaturationMarkdown(b *strings.Builder, experiment string, sec rebuiltSection) {
 	if len(sec.series) == 0 {
 		return
 	}
 	baseline := sec.series[0].MaxAccepted()
-	fmt.Fprintf(b, "| variant | max accepted | vs %s | paper (approx) | delta (pp) |\n|---|---|---|---|---|\n",
+	fmt.Fprintf(b, "| variant | max accepted | p50 | p95 | p99 | vs %s | paper (approx) | delta (pp) |\n|---|---|---|---|---|---|---|---|\n",
 		sec.series[0].Label)
 	anyRef := false
 	for i, s := range sec.series {
@@ -275,12 +346,36 @@ func renderSaturationMarkdown(b *strings.Builder, experiment string, sec rebuilt
 		if len(s.Points) > 0 && s.Points[len(s.Points)-1].Result.Deadlock {
 			flag = " (deadlock)"
 		}
-		fmt.Fprintf(b, "| %s | %.3f%s | %s | %s | %s |\n", s.Label, v, flag, relCol, paperCol, deltaCol)
+		p50, p95, p99 := percentilesAtMax(s)
+		fmt.Fprintf(b, "| %s | %.3f%s | %.1f | %.1f | %.1f | %s | %s | %s |\n",
+			s.Label, v, flag, p50, p95, p99, relCol, paperCol, deltaCol)
 	}
 	if anyRef {
 		fmt.Fprintf(b, "\n%s\n", paperReferenceCaveat)
 	}
 	fmt.Fprintln(b)
+}
+
+// percentilesAtMax returns the latency percentiles of the series' point with
+// the highest accepted load: recomputed from the point's serialized histogram
+// where one was recorded (the pooled percentiles of all merged replications,
+// within stats.PercentileErrorBound), falling back to the averaged fields on
+// legacy results.
+func percentilesAtMax(s Series) (p50, p95, p99 float64) {
+	var best *Point
+	for i := range s.Points {
+		if best == nil || s.Points[i].Result.AcceptedLoad > best.Result.AcceptedLoad {
+			best = &s.Points[i]
+		}
+	}
+	if best == nil {
+		return 0, 0, 0
+	}
+	r := best.Result
+	if r.Hist != nil && r.Hist.Total() > 0 {
+		return r.Hist.Quantile(0.50), r.Hist.Quantile(0.95), r.Hist.Quantile(0.99)
+	}
+	return r.P50, r.P95, r.P99
 }
 
 func orUnknown(s string) string {

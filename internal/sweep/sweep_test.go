@@ -12,6 +12,7 @@ func TestRegistryCoversEveryPaperArtefact(t *testing.T) {
 	want := []string{
 		"table1", "table2", "table3", "table4",
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"transient",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {

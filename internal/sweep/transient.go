@@ -1,0 +1,194 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"flexvc/internal/config"
+	"flexvc/internal/core"
+	"flexvc/internal/routing"
+	"flexvc/internal/scenario"
+	"flexvc/internal/stats"
+)
+
+// The transient experiment family: instead of sweeping offered load at
+// steady state, a phased scenario switches the traffic pattern mid-run and
+// the windowed telemetry (stats.TimeSeries) shows how each routing mode
+// reacts. The paper evaluates FlexVC only at steady state; this experiment
+// measures what adaptive (PB) routing is actually for — how quickly it
+// re-diverts traffic after a UN→ADV shift — against the static MIN and VAL
+// references.
+
+// transientLoad is the offered load of every phase of the canonical
+// transient scenario: above MIN's ADV saturation (so the static minimal mode
+// visibly collapses and PB must divert) yet within VAL's capacity under both
+// UN and ADV (~0.33 at small scale with 4/2 VCs; see experiments/fig5-small),
+// so the static references run unsaturated through every phase.
+const transientLoad = 0.3
+
+// transientScenario derives the canonical UN→ADV→UN scenario from the
+// scale's measurement window: three equal phases of about MeasureCycles
+// each, sixteen telemetry windows per phase. The phase length is re-aligned
+// to the floored window so the derived scenario always validates (phase
+// boundaries must land on window boundaries) no matter what MeasureCycles a
+// scale or quick factor yields.
+func transientScenario(base config.Config) *scenario.Scenario {
+	seg := base.MeasureCycles
+	window := seg / 16
+	if window < 1 {
+		window = 1
+	}
+	seg -= seg % window
+	return scenario.UNToADV(transientLoad, seg, seg, seg, window)
+}
+
+// transientVariants compares the three routing modes on the same 4/2 VC set
+// (the smallest that supports Valiant paths on the Dragonfly, so the
+// comparison is iso-resource).
+func transientVariants() []Variant {
+	vcs := single(4, 2)
+	mode := func(label string, alg routing.Kind) Variant {
+		return Variant{Label: label, Apply: func(c *config.Config) {
+			c.Routing = alg
+			c.Sensing = routing.SensePerVC
+			c.Scheme = core.Scheme{Policy: core.Baseline, VCs: vcs, Selection: core.JSQ}
+		}}
+	}
+	return []Variant{
+		mode("MIN 4/2", routing.MIN),
+		mode("VAL 4/2", routing.VAL),
+		mode("PB per-VC 4/2", routing.PB),
+	}
+}
+
+func runTransient(opts Options) (*Report, error) {
+	base, err := opts.BaseConfig()
+	if err != nil {
+		return nil, err
+	}
+	sc := transientScenario(base)
+	base.Scenario = sc
+	rep := &Report{ID: "transient", Title: "Transient response to a UN -> ADV -> UN traffic shift (windowed telemetry)"}
+	title := "UN -> ADV -> UN transient"
+	series, err := opts.runSection(title, base, transientVariants(), []float64{sc.MaxLoad()})
+	if err != nil {
+		return nil, err
+	}
+	rep.Sections = append(rep.Sections, Section{
+		Title:  title,
+		Body:   RenderSeries(title, series) + RenderTransientText(series),
+		Series: series,
+	})
+	rep.Notes = append(rep.Notes,
+		"scenario "+sc.Describe(),
+		fmt.Sprintf("adaptation lag: cycles from a phase switch until the settled minimal-fraction midpoint is crossed (shift threshold %.2f); PB should collapse after UN->ADV while MIN and VAL stay flat", scenario.LagShiftThreshold),
+		fmt.Sprintf("scale=%s (%s)", opts.scaleName(), base.Describe()))
+	return rep, nil
+}
+
+// transientSeriesOf extracts the windowed telemetry of a rendered series:
+// its single point's time series, or nil when the series is not a transient
+// run (multi-point sweeps, legacy results).
+func transientSeriesOf(s Series) *stats.TimeSeries {
+	if len(s.Points) != 1 {
+		return nil
+	}
+	return s.Points[0].Result.Series
+}
+
+// firstTransientSeries returns the first series' windowed telemetry, which
+// the renderers use as the reference for window geometry and phase marks
+// (every series of one section shares them); nil when none carries any.
+func firstTransientSeries(series []Series) *stats.TimeSeries {
+	for _, s := range series {
+		if ts := transientSeriesOf(s); ts != nil {
+			return ts
+		}
+	}
+	return nil
+}
+
+// RenderTransientText renders the windowed telemetry of a transient section
+// as a fixed-width table (one row per window; per series the accepted load,
+// mean latency and minimally-routed percentage) followed by the phase marks
+// and the adaptation-lag summary. Series without telemetry render as dashes.
+func RenderTransientText(series []Series) string {
+	ref := firstTransientSeries(series)
+	if ref == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nwindowed telemetry (window %d cycles; acc = phits/node/cycle, min%% = minimally routed)\n", ref.Window)
+	fmt.Fprintf(&b, "%-8s", "cycle")
+	for _, s := range series {
+		fmt.Fprintf(&b, " | %-24s", truncate(s.Label, 24))
+	}
+	fmt.Fprintf(&b, "\n%-8s", "")
+	for range series {
+		fmt.Fprintf(&b, " | %7s %9s %6s", "acc", "avg-lat", "min%")
+	}
+	b.WriteByte('\n')
+	for w := 0; w < ref.Windows(); w++ {
+		fmt.Fprintf(&b, "%-8d", ref.WindowStart(w))
+		for _, s := range series {
+			ts := transientSeriesOf(s)
+			if ts == nil || w >= ts.Windows() {
+				fmt.Fprintf(&b, " | %7s %9s %6s", "-", "-", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " | %7.3f %9s %6s", ts.Accepted(w), fmtOr(ts.MeanLatency(w), "%9.1f", "-"), fmtOr(100*ts.MinimalFraction(w), "%6.1f", "-"))
+		}
+		b.WriteByte('\n')
+	}
+	if len(ref.Marks) > 0 {
+		parts := make([]string, len(ref.Marks))
+		for i, m := range ref.Marks {
+			parts[i] = fmt.Sprintf("%d %s", m.Cycle, m.Label)
+		}
+		fmt.Fprintf(&b, "phases: %s\n", strings.Join(parts, " | "))
+	}
+	b.WriteString(renderLagsText(series))
+	return b.String()
+}
+
+// renderLagsText renders the per-variant adaptation lags.
+func renderLagsText(series []Series) string {
+	var b strings.Builder
+	wrote := false
+	for _, s := range series {
+		ts := transientSeriesOf(s)
+		lags := scenario.AdaptationLags(ts)
+		if len(lags) == 0 {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintf(&b, "adaptation lag (settled minimal-fraction midpoint crossing, shift threshold %.2f):\n", scenario.LagShiftThreshold)
+			wrote = true
+		}
+		for _, l := range lags {
+			fmt.Fprintf(&b, "  %-26s @%-7d -> %-18s %s\n", truncate(s.Label, 26), l.At, truncate(l.Label, 18), lagText(l))
+		}
+	}
+	return b.String()
+}
+
+func lagText(l scenario.Lag) string {
+	fracs := fmt.Sprintf("(min%% %s -> %s)", fmtOr(100*l.Pre, "%.1f", "-"), fmtOr(100*l.Post, "%.1f", "-"))
+	switch {
+	case !l.Shifted:
+		return "no shift " + fracs
+	case !l.Crossed:
+		return fmt.Sprintf("lag > %d cycles %s", l.Cycles, fracs)
+	default:
+		return fmt.Sprintf("lag %d cycles %s", l.Cycles, fracs)
+	}
+}
+
+// fmtOr formats v with format, or returns alt when v is NaN (empty window).
+func fmtOr(v float64, format, alt string) string {
+	if math.IsNaN(v) {
+		return alt
+	}
+	return strings.TrimSpace(fmt.Sprintf(format, v))
+}

@@ -1,0 +1,111 @@
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"flexvc/internal/packet"
+	"flexvc/internal/topology"
+)
+
+// This file is the permutation/hotspot destination library feeding the
+// scenario engine: the classic bit-permutation patterns (transpose,
+// bit-reverse, perfect shuffle) and a group hotspot. Unlike UN/ADV these
+// patterns concentrate load on specific source-destination pairs or regions,
+// which is what makes adaptive routing earn (or lose) its keep when a phased
+// scenario switches onto them.
+
+// DefaultHotspotFraction is the fraction of group-hotspot traffic aimed at
+// the hot group when Params.HotspotFraction is left zero.
+const DefaultHotspotFraction = 0.25
+
+// permBits returns the width in bits of the permutation domain for n nodes:
+// the largest b with 2^b <= n. Bit permutations are only defined on
+// power-of-two domains; nodes with indices >= 2^b (at most half of them) fall
+// back to uniform destinations so every node still offers load.
+func permBits(n int) uint {
+	return uint(bits.Len64(uint64(n))) - 1
+}
+
+// permDestination lifts a bit permutation over b-bit indices into a
+// destinationFn. Sources outside the 2^b domain draw uniform destinations;
+// fixed points of the permutation step to the next node in the domain so no
+// packet is addressed to its own source.
+func permDestination(topo topology.Topology, perm func(i uint64, b uint) uint64) destinationFn {
+	b := permBits(topo.NumNodes())
+	size := uint64(1) << b
+	uni := uniformDestination(topo)
+	return func(rng *rand.Rand, src packet.NodeID) packet.NodeID {
+		if uint64(src) >= size {
+			return uni(rng, src)
+		}
+		d := perm(uint64(src), b) & (size - 1)
+		if d == uint64(src) {
+			d = (d + 1) % size
+		}
+		return packet.NodeID(d)
+	}
+}
+
+// transposePerm rotates the b-bit index by b/2: the matrix-transpose
+// permutation (node (i,j) of a 2^(b/2) x 2^(b/2) grid sends to node (j,i);
+// for odd b the rotation uses floor(b/2)).
+func transposePerm(i uint64, b uint) uint64 {
+	h := b / 2
+	return i>>h | i<<(b-h)
+}
+
+// bitReversePerm reverses the b-bit index.
+func bitReversePerm(i uint64, b uint) uint64 {
+	return bits.Reverse64(i) >> (64 - b)
+}
+
+// shufflePerm rotates the b-bit index left by one: the perfect-shuffle
+// permutation.
+func shufflePerm(i uint64, b uint) uint64 {
+	return i<<1 | i>>(b-1)
+}
+
+// groupHotspotDestination sends a configurable fraction of the traffic to a
+// uniformly drawn node of one hot group; the rest is uniform over the whole
+// network. On flat topologies (a single group) the nodes of one router form
+// the hot set, mirroring the adversarial degeneration.
+func groupHotspotDestination(topo topology.Topology, fraction float64, hotGroup int) (destinationFn, error) {
+	if fraction == 0 {
+		fraction = DefaultHotspotFraction
+	}
+	if fraction < 0 || fraction > 1 {
+		return nil, fmt.Errorf("traffic: group-hotspot fraction %.3f outside [0,1]", fraction)
+	}
+	n := topo.NumNodes()
+	groups := topo.NumGroups()
+	hotBase, hotCount := 0, 0
+	if groups > 1 {
+		if hotGroup < 0 || hotGroup >= groups {
+			return nil, fmt.Errorf("traffic: group-hotspot group %d outside [0,%d)", hotGroup, groups)
+		}
+		hotCount = n / groups
+		hotBase = hotGroup * hotCount
+	} else {
+		// Flat diameter-2 network: the "group" is a router.
+		if hotGroup < 0 || hotGroup >= topo.NumRouters() {
+			return nil, fmt.Errorf("traffic: group-hotspot router %d outside [0,%d)", hotGroup, topo.NumRouters())
+		}
+		hotCount = topo.NodesPerRouter()
+		hotBase = int(topo.NodeAt(packet.RouterID(hotGroup), 0))
+	}
+	uni := uniformDestination(topo)
+	return func(rng *rand.Rand, src packet.NodeID) packet.NodeID {
+		if rng.Float64() >= fraction {
+			return uni(rng, src)
+		}
+		d := packet.NodeID(hotBase + rng.Intn(hotCount))
+		if d == src {
+			// The source sits in the hot set; fall back to uniform so the
+			// packet is never self-addressed.
+			return uni(rng, src)
+		}
+		return d
+	}, nil
+}

@@ -1,0 +1,307 @@
+package traffic
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"flexvc/internal/packet"
+	"flexvc/internal/topology"
+)
+
+// streamBytes drives a generator for the given number of cycles and encodes
+// every generated packet as fixed-width binary (cycle, node, src, dst, size,
+// class), so two streams can be compared byte for byte.
+func streamBytes(t *testing.T, g Generator, nodes int, cycles int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for now := int64(0); now < cycles; now++ {
+		for n := 0; n < nodes; n++ {
+			p := g.Generate(now, packet.NodeID(n))
+			if p == nil {
+				continue
+			}
+			for _, v := range []int64{now, int64(n), int64(p.Src), int64(p.Dst), int64(p.Size), int64(p.Class)} {
+				if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestBurstyReplayByteIdentical locks the determinism contract of the bursty
+// generator down to the byte level: same seed, same packet stream.
+func TestBurstyReplayByteIdentical(t *testing.T) {
+	p := params(t, 0.35)
+	nodes := p.Topo.NumNodes()
+	build := func() Generator {
+		g, err := NewBursty(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a := streamBytes(t, build(), nodes, 5000)
+	b := streamBytes(t, build(), nodes, 5000)
+	if len(a) == 0 {
+		t.Fatal("bursty generator produced no packets")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two bursty generators with the same seed produced different packet streams")
+	}
+	q := p
+	q.Seed++
+	c := streamBytes(t, mustBursty(t, q), nodes, 5000)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical bursty packet streams")
+	}
+}
+
+func mustBursty(t *testing.T, p Params) *Bursty {
+	t.Helper()
+	g, err := NewBursty(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBurstyRejectsShortBursts(t *testing.T) {
+	p := params(t, 0.4)
+	p.AvgBurstLength = 0.5
+	if _, err := NewBursty(p); err == nil || !strings.Contains(err.Error(), "AvgBurstLength") {
+		t.Fatalf("NewBursty accepted AvgBurstLength 0.5 (err=%v), want a clear error", err)
+	}
+	if _, err := New("bursty-un", p, false); err == nil {
+		t.Fatal("New accepted a bursty pattern with AvgBurstLength < 1")
+	}
+}
+
+// testPhases is a three-phase scenario exercising a pattern switch, a load
+// switch and a permutation phase.
+func testPhases() []PhaseSpec {
+	return []PhaseSpec{
+		{Pattern: "uniform", Load: 0.4, Cycles: 600},
+		{Pattern: "adversarial", Load: 0.2, Cycles: 400},
+		{Pattern: "transpose", Load: 0.6, Cycles: 500},
+	}
+}
+
+// TestSwitchableReplayByteIdentical is the Switchable counterpart of the
+// bursty replay test: same seed, byte-identical phased packet stream.
+func TestSwitchableReplayByteIdentical(t *testing.T) {
+	p := params(t, 0)
+	nodes := p.Topo.NumNodes()
+	build := func(seed int64) Generator {
+		q := p
+		q.Seed = seed
+		g, err := NewSwitchable(q, testPhases())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a := streamBytes(t, build(3), nodes, 1500)
+	b := streamBytes(t, build(3), nodes, 1500)
+	if len(a) == 0 {
+		t.Fatal("switchable generator produced no packets")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two switchable generators with the same seed produced different packet streams")
+	}
+	if c := streamBytes(t, build(4), nodes, 1500); bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical phased packet streams")
+	}
+}
+
+// TestSwitchablePhaseBoundaries checks that the active pattern changes
+// exactly at the configured cycle boundaries and that packet IDs stay unique
+// across phases.
+func TestSwitchablePhaseBoundaries(t *testing.T) {
+	p := params(t, 0)
+	df := p.Topo.(*topology.Dragonfly)
+	g, err := NewSwitchable(p, testPhases())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	perPhase := [3]int{}
+	for now := int64(0); now < 1500; now++ {
+		phase := 0
+		switch {
+		case now >= 1000:
+			phase = 2
+		case now >= 600:
+			phase = 1
+		}
+		for n := 0; n < p.Topo.NumNodes(); n++ {
+			pkt := g.Generate(now, packet.NodeID(n))
+			if pkt == nil {
+				continue
+			}
+			if seen[pkt.ID] {
+				t.Fatalf("duplicate packet ID %d across phases", pkt.ID)
+			}
+			seen[pkt.ID] = true
+			perPhase[phase]++
+			if phase == 1 {
+				src, dst := df.GroupOf(pkt.SrcRouter), df.GroupOf(pkt.DstRouter)
+				if dst != (src+1)%df.NumGroups() {
+					t.Fatalf("cycle %d: adversarial phase sent group %d -> %d", now, src, dst)
+				}
+			}
+		}
+	}
+	for i, c := range perPhase {
+		if c == 0 {
+			t.Fatalf("phase %d generated no packets", i)
+		}
+	}
+}
+
+func TestSwitchableRejectsBadPhases(t *testing.T) {
+	p := params(t, 0)
+	cases := []struct {
+		name   string
+		phases []PhaseSpec
+		want   string
+	}{
+		{"empty", nil, "at least one phase"},
+		{"zero cycles", []PhaseSpec{{Pattern: "uniform", Load: 0.5}}, "cycles"},
+		{"bad load", []PhaseSpec{{Pattern: "uniform", Load: 1.5, Cycles: 10}}, "load"},
+		{"unknown pattern", []PhaseSpec{{Pattern: "nope", Load: 0.5, Cycles: 10}}, "unknown pattern"},
+		{"bad burst", []PhaseSpec{{Pattern: "bursty-un", Load: 0.5, Cycles: 10, AvgBurstLength: 0.2}}, "AvgBurstLength"},
+	}
+	for _, tc := range cases {
+		if _, err := NewSwitchable(p, tc.phases); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err=%v, want it to mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestPermutationDestinations checks the structural properties of the
+// permutation library: deterministic destinations forming a near-permutation
+// on the power-of-two domain, never self-addressed, out-of-domain sources
+// falling back to uniform.
+func TestPermutationDestinations(t *testing.T) {
+	p := params(t, 0.9)
+	n := p.Topo.NumNodes()
+	size := 1 << permBits(n) // 64 of the 72 nodes
+	for _, name := range []string{"transpose", "bit-reverse", "shuffle"} {
+		g, err := New(name, p, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make(map[packet.NodeID]packet.NodeID)
+		for now := int64(0); now < 200; now++ {
+			for node := 0; node < n; node++ {
+				pkt := g.Generate(now, packet.NodeID(node))
+				if pkt == nil {
+					continue
+				}
+				if pkt.Dst == pkt.Src {
+					t.Fatalf("%s: self-addressed packet from node %d", name, node)
+				}
+				if prev, ok := dst[pkt.Src]; ok && int(pkt.Src) < size && prev != pkt.Dst {
+					t.Fatalf("%s: in-domain node %d sent to both %d and %d", name, pkt.Src, prev, pkt.Dst)
+				}
+				dst[pkt.Src] = pkt.Dst
+			}
+		}
+		// In-domain destinations must be nearly a permutation: fixed-point
+		// remapping can merge a handful of targets, but the bulk must be
+		// distinct (a broken permutation collapses onto few destinations).
+		targets := map[packet.NodeID]bool{}
+		inDomain := 0
+		for src, d := range dst {
+			if int(src) < size {
+				inDomain++
+				targets[d] = true
+			}
+		}
+		if inDomain < size/2 {
+			t.Fatalf("%s: only %d in-domain sources generated (load 0.9, 200 cycles)", name, inDomain)
+		}
+		if len(targets) < inDomain*3/4 {
+			t.Errorf("%s: %d in-domain sources map onto only %d destinations", name, inDomain, len(targets))
+		}
+	}
+}
+
+// TestBitPermutations pins the three bit permutations on small known cases.
+func TestBitPermutations(t *testing.T) {
+	if got := transposePerm(0b000011, 6); got != 0b011000 {
+		t.Errorf("transpose(000011) = %06b, want 011000", got)
+	}
+	if got := bitReversePerm(0b000011, 6) & 63; got != 0b110000 {
+		t.Errorf("bitrev(000011) = %06b, want 110000", got)
+	}
+	if got := shufflePerm(0b100001, 6) & 63; got != 0b000011 {
+		t.Errorf("shuffle(100001) = %06b, want 000011", got)
+	}
+}
+
+// TestGroupHotspotConcentration checks that the configured fraction of
+// traffic lands in the hot group and the rest stays roughly uniform.
+func TestGroupHotspotConcentration(t *testing.T) {
+	p := params(t, 0.8)
+	p.HotspotFraction = 0.5
+	p.HotspotGroup = 2
+	df := p.Topo.(*topology.Dragonfly)
+	g, err := New("group-hotspot", p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perGroup := make([]int, df.NumGroups())
+	total := 0
+	for now := int64(0); now < 4000; now++ {
+		for n := 0; n < p.Topo.NumNodes(); n++ {
+			pkt := g.Generate(now, packet.NodeID(n))
+			if pkt == nil {
+				continue
+			}
+			if pkt.Dst == pkt.Src {
+				t.Fatal("group-hotspot generated a self-addressed packet")
+			}
+			perGroup[df.GroupOf(pkt.DstRouter)]++
+			total++
+		}
+	}
+	hot := float64(perGroup[2]) / float64(total)
+	// 50% targeted + ~1/9 of the uniform half ≈ 0.556.
+	if hot < 0.45 || hot < 2*float64(perGroup[0])/float64(total) {
+		t.Errorf("hot group received %.1f%% of traffic (per-group counts %v)", 100*hot, perGroup)
+	}
+}
+
+func TestGroupHotspotRejectsBadParams(t *testing.T) {
+	p := params(t, 0.5)
+	p.HotspotFraction = 1.5
+	if _, err := New("group-hotspot", p, false); err == nil {
+		t.Error("accepted hotspot fraction > 1")
+	}
+	p.HotspotFraction = 0.5
+	p.HotspotGroup = 99
+	if _, err := New("group-hotspot", p, false); err == nil {
+		t.Error("accepted out-of-range hotspot group")
+	}
+}
+
+func TestCanonicalPattern(t *testing.T) {
+	for alias, want := range map[string]string{
+		"un": NameUniform, "adv": NameAdversarial, "bursty": NameBursty,
+		"bitrev": NameBitReverse, "hotspot": NameGroupHotspot,
+		"transpose": NameTranspose, "shuffle": NameShuffle,
+	} {
+		got, ok := CanonicalPattern(alias)
+		if !ok || got != want {
+			t.Errorf("CanonicalPattern(%q) = %q,%v want %q", alias, got, ok, want)
+		}
+	}
+	if _, ok := CanonicalPattern("nope"); ok {
+		t.Error("CanonicalPattern accepted an unknown name")
+	}
+}

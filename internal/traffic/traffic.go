@@ -46,7 +46,14 @@ type Params struct {
 	// Seed seeds the per-node PRNG streams.
 	Seed int64
 	// AvgBurstLength is the mean burst length in packets (BURSTY-UN only).
+	// It must be >= 1; New rejects smaller values instead of clamping.
 	AvgBurstLength float64
+	// HotspotFraction is the fraction of group-hotspot traffic aimed at the
+	// hot group (0 selects DefaultHotspotFraction).
+	HotspotFraction float64
+	// HotspotGroup is the group concentrated on by group-hotspot traffic (a
+	// router index on flat topologies).
+	HotspotGroup int
 	// Pool, when non-nil, recycles delivered packets into new ones so the
 	// steady-state simulation allocates nothing per packet. A nil pool falls
 	// back to plain allocation.
@@ -132,24 +139,71 @@ func fillEndpoints(topo topology.Topology, p *packet.Packet) {
 
 // Kind names the implemented patterns.
 const (
-	NameUniform     = "uniform"
-	NameAdversarial = "adversarial"
-	NameBursty      = "bursty-uniform"
+	NameUniform      = "uniform"
+	NameAdversarial  = "adversarial"
+	NameBursty       = "bursty-uniform"
+	NameTranspose    = "transpose"
+	NameBitReverse   = "bit-reverse"
+	NameShuffle      = "shuffle"
+	NameGroupHotspot = "group-hotspot"
 )
 
-// New builds the generator named by pattern ("uniform", "adversarial",
-// "bursty-uniform"), optionally wrapped for reactive request-reply traffic.
-func New(pattern string, params Params, reactive bool) (Generator, error) {
-	var g Generator
+// CanonicalPattern resolves a pattern name or alias to its canonical name.
+// It lets spec layers (internal/scenario, internal/config) validate pattern
+// names without instantiating a generator.
+func CanonicalPattern(pattern string) (string, bool) {
 	switch pattern {
 	case NameUniform, "un":
-		g = NewBernoulli(NameUniform, params, uniformDestination(params.Topo))
+		return NameUniform, true
 	case NameAdversarial, "adv":
-		g = NewBernoulli(NameAdversarial, params, adversarialDestination(params.Topo))
+		return NameAdversarial, true
 	case NameBursty, "bursty-un", "bursty":
-		g = NewBursty(params)
+		return NameBursty, true
+	case NameTranspose:
+		return NameTranspose, true
+	case NameBitReverse, "bitrev":
+		return NameBitReverse, true
+	case NameShuffle:
+		return NameShuffle, true
+	case NameGroupHotspot, "hotspot":
+		return NameGroupHotspot, true
 	default:
+		return "", false
+	}
+}
+
+// New builds the generator named by pattern (see CanonicalPattern for the
+// accepted names and aliases), optionally wrapped for reactive request-reply
+// traffic. Invalid parameters are rejected with an error, never clamped.
+func New(pattern string, params Params, reactive bool) (Generator, error) {
+	name, ok := CanonicalPattern(pattern)
+	if !ok {
 		return nil, fmt.Errorf("traffic: unknown pattern %q", pattern)
+	}
+	var g Generator
+	switch name {
+	case NameUniform:
+		g = NewBernoulli(NameUniform, params, uniformDestination(params.Topo))
+	case NameAdversarial:
+		g = NewBernoulli(NameAdversarial, params, adversarialDestination(params.Topo))
+	case NameBursty:
+		b, err := NewBursty(params)
+		if err != nil {
+			return nil, err
+		}
+		g = b
+	case NameTranspose:
+		g = NewBernoulli(NameTranspose, params, permDestination(params.Topo, transposePerm))
+	case NameBitReverse:
+		g = NewBernoulli(NameBitReverse, params, permDestination(params.Topo, bitReversePerm))
+	case NameShuffle:
+		g = NewBernoulli(NameShuffle, params, permDestination(params.Topo, shufflePerm))
+	case NameGroupHotspot:
+		dest, err := groupHotspotDestination(params.Topo, params.HotspotFraction, params.HotspotGroup)
+		if err != nil {
+			return nil, err
+		}
+		g = NewBernoulli(NameGroupHotspot, params, dest)
 	}
 	if reactive {
 		g = NewReactive(g, params)

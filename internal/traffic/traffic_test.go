@@ -98,7 +98,10 @@ func TestAdversarialDestinations(t *testing.T) {
 // destination held constant within a burst.
 func TestBurstyLoadAndBurstLength(t *testing.T) {
 	p := params(t, 0.4)
-	g := NewBursty(p)
+	g, err := NewBursty(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cycles := int64(60000)
 	generated := 0
 	// Track burst statistics for node 0.
