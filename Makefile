@@ -15,7 +15,7 @@ BENCH_GATE_PAT  := SmokeSweep|AllowedVCs|RouterStep|InputBufferCycle
 BENCH_GATE_PKGS := . ./internal/router ./internal/buffer
 BENCH_COUNT     ?= 3
 
-.PHONY: build test race lint bench-check bench-baseline ci nightly-sweep nightly-transient scenario-smoke
+.PHONY: build test race lint bench-check bench-baseline ci nightly-sweep nightly-transient scenario-smoke campaign-smoke nightly-campaign
 
 build:
 	$(GO) build ./...
@@ -79,3 +79,23 @@ nightly-transient:
 scenario-smoke:
 	$(GO) run ./cmd/flexvcsim -scale small -routing pb -policy baseline -vcs 4/2 \
 		-scenario experiments/transient-small/scenario.json -seeds 1
+
+# A tiny end-to-end campaign through the declarative engine (CI gate): parse
+# the embedded smoke spec, run it through the checkpointed runner, render the
+# recorded results. Fails if the spec layer, the campaign compiler, the
+# runner or the renderer break.
+RESULTS_DIR_CAMPAIGN ?= results/campaign-smoke
+campaign-smoke:
+	$(GO) run ./cmd/figures run -campaign smoke -quick -results $(RESULTS_DIR_CAMPAIGN)
+	$(GO) run ./cmd/figures render -campaign smoke -results $(RESULTS_DIR_CAMPAIGN) -out $(RESULTS_DIR_CAMPAIGN)/smoke.md
+
+# The nightly campaign sweep: re-run the recorded pb-policies-transient
+# campaign from its checked-in spec and diff the rendered report against the
+# committed golden, so campaign-engine or simulator drift fails loudly.
+RESULTS_DIR_NIGHTLY_CAMPAIGN ?= results/nightly-campaign
+nightly-campaign:
+	$(GO) run ./cmd/figures run -campaign experiments/pb-policies-transient/campaign.json \
+		-results $(RESULTS_DIR_NIGHTLY_CAMPAIGN)
+	$(GO) run ./cmd/figures render -campaign experiments/pb-policies-transient/campaign.json \
+		-results $(RESULTS_DIR_NIGHTLY_CAMPAIGN) -out $(RESULTS_DIR_NIGHTLY_CAMPAIGN)/pb-policies-transient.md
+	diff experiments/pb-policies-transient/report.md $(RESULTS_DIR_NIGHTLY_CAMPAIGN)/pb-policies-transient.md

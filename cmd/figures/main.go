@@ -7,12 +7,20 @@
 // stopped, and `render` turns the recorded results into reports — including
 // the paper-vs-measured tables of EXPERIMENTS.md — without re-simulating.
 //
+// Beyond the built-in experiments, `run` and `render` accept declarative
+// campaign specs (internal/campaign): a JSON file — or the name of an
+// embedded spec, see `figures list` — describing base settings, variant axes,
+// loads, seeds, scale and optional scenarios. Campaign runs checkpoint,
+// resume, export and render exactly like built-in figures.
+//
 // Examples:
 //
 //	figures list
 //	figures run -exp fig5 -scale small -seeds 5 -results results/
 //	figures run -exp all -scale medium -seeds 5 -results results/   # resumable
+//	figures run -campaign experiments/pb-policies-transient/campaign.json -results results/
 //	figures render -exp fig5 -results results/ -out fig5.md
+//	figures render -campaign pb-policies-transient -results results/
 //	figures render -exp fig5 -results results/ -format text
 //
 // The legacy one-shot mode (simulate and print, nothing recorded) is kept for
@@ -28,9 +36,11 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
+	"flexvc/internal/campaign"
 	"flexvc/internal/results"
 	"flexvc/internal/sim"
 	"flexvc/internal/stats"
@@ -63,7 +73,8 @@ func run(args []string) error {
 			return renderCmd(args[1:])
 		case "help", "-h", "-help", "--help":
 			fmt.Println("usage: figures {list | run | render} [flags]   (or legacy: figures -exp ... )")
-			fmt.Println("  run    simulate into a checkpointed results directory (resumable)")
+			fmt.Println("  run    simulate into a checkpointed results directory (resumable);")
+			fmt.Println("         -exp runs built-in experiments, -campaign runs a JSON campaign spec")
 			fmt.Println("  render turn recorded results into reports without re-simulating")
 			return nil
 		}
@@ -79,6 +90,14 @@ func listCmd() error {
 			kind = "analytic"
 		}
 		fmt.Printf("  %-8s %-9s %s\n", id, kind, reg[id].Title)
+	}
+	fmt.Println("campaign specs (run with `figures run -campaign <name|spec.json>`):")
+	for _, name := range campaign.BuiltinNames() {
+		c, err := campaign.Builtin(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-8s %-9s %s\n", name, "campaign", c.ReportTitle())
 	}
 	return nil
 }
@@ -101,6 +120,39 @@ func expandIDs(exp string) ([]string, error) {
 	return ids, nil
 }
 
+// expandRenderIDs resolves the -exp flag for `figures render`. Unlike the run
+// path, ids need not be registry experiments — campaign results render from
+// their exports alone — so named ids pass through unchecked (a missing
+// results file surfaces the error), and "all" renders everything recorded in
+// the directory plus any registry experiment (so missing built-in files keep
+// their skip-silently semantics).
+func expandRenderIDs(exp, resDir string) ([]string, error) {
+	if exp == "" {
+		return nil, fmt.Errorf("missing -exp (use `figures list` to see the available experiments)")
+	}
+	if exp != "all" {
+		return strings.Split(exp, ","), nil
+	}
+	ids := sweep.IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	matches, err := filepath.Glob(filepath.Join(resDir, "*.results.json"))
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range matches {
+		id := strings.TrimSuffix(filepath.Base(m), ".results.json")
+		if !have[id] {
+			have[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
 // gitRevision best-effort resolves the source revision results are stamped
 // with; an explicit -revision flag overrides it.
 func gitRevision() string {
@@ -116,14 +168,15 @@ func gitRevision() string {
 func runCmd(args []string) error {
 	fs := flag.NewFlagSet("figures run", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "", "experiments to run: comma-separated IDs or 'all'")
-		scale    = fs.String("scale", "small", "system scale: small, medium or paper")
-		seeds    = fs.Int("seeds", 1, "independent replications per point (the paper uses 5)")
-		parallel = fs.Int("parallel", 0, "cap on sweep points in flight (0 = unbounded; a memory guard)")
-		workers  = fs.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
-		quick    = fs.Bool("quick", false, "trim sweeps for a fast smoke run")
-		resDir   = fs.String("results", "", "results directory (required): checkpoints + exported results JSON")
-		revision = fs.String("revision", "", "source revision to stamp into the results (default: git rev-parse)")
+		exp       = fs.String("exp", "", "experiments to run: comma-separated IDs or 'all'")
+		campaignF = fs.String("campaign", "", "campaign spec to run: a JSON file or an embedded spec name (see `figures list`)")
+		scale     = fs.String("scale", "", "system scale: small, medium or paper (campaign specs may set their own default)")
+		seeds     = fs.Int("seeds", 0, "independent replications per point (the paper uses 5; campaign specs may set their own default)")
+		parallel  = fs.Int("parallel", 0, "cap on sweep points in flight (0 = unbounded; a memory guard)")
+		workers   = fs.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
+		quick     = fs.Bool("quick", false, "trim sweeps for a fast smoke run")
+		resDir    = fs.String("results", "", "results directory (required): checkpoints + exported results JSON")
+		revision  = fs.String("revision", "", "source revision to stamp into the results (default: git rev-parse)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,8 +184,18 @@ func runCmd(args []string) error {
 	if *resDir == "" {
 		return fmt.Errorf("run: missing -results directory")
 	}
-	ids, err := expandIDs(*exp)
-	if err != nil {
+	if (*exp == "") == (*campaignF == "") {
+		return fmt.Errorf("run: need exactly one of -exp or -campaign")
+	}
+	var spec *campaign.Campaign
+	var ids []string
+	var err error
+	if *campaignF != "" {
+		if spec, err = campaign.Resolve(*campaignF); err != nil {
+			return err
+		}
+		ids = []string{spec.Name}
+	} else if ids, err = expandIDs(*exp); err != nil {
 		return err
 	}
 	store, err := results.Open(*resDir)
@@ -155,16 +218,28 @@ func runCmd(args []string) error {
 
 	reg := sweep.Registry()
 	for _, id := range ids {
-		if reg[id].Analytic {
+		if spec == nil && reg[id].Analytic {
 			fmt.Fprintf(os.Stderr, "%s: analytic (nothing to simulate or record); render it with `figures -exp %s`\n", id, id)
 			continue
 		}
 		start := time.Now()
 		var lastPrint time.Time
 		var final sweep.Progress
+		// Defaults match the pre-campaign flag defaults; campaign specs may
+		// carry their own scale/seeds, which campaign.Run applies when the
+		// flags are unset.
+		expScale, expSeeds := *scale, *seeds
+		if spec == nil {
+			if expScale == "" {
+				expScale = "small"
+			}
+			if expSeeds <= 0 {
+				expSeeds = 1
+			}
+		}
 		opts := sweep.Options{
-			Scale:       *scale,
-			Seeds:       *seeds,
+			Scale:       expScale,
+			Seeds:       expSeeds,
 			Parallelism: *parallel,
 			Quick:       *quick,
 			Results:     store,
@@ -179,10 +254,18 @@ func runCmd(args []string) error {
 					p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
 			},
 		}
-		if _, err := sweep.Run(id, opts); err != nil {
+		title := ""
+		if spec != nil {
+			title = spec.ReportTitle()
+			_, err = campaign.Run(spec, opts)
+		} else {
+			title = reg[id].Title
+			_, err = sweep.Run(id, opts)
+		}
+		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
-		path, err := store.WriteExport(id, reg[id].Title)
+		path, err := store.WriteExport(id, title)
 		if err != nil {
 			return fmt.Errorf("%s: exporting results: %w", id, err)
 		}
@@ -199,10 +282,11 @@ func runCmd(args []string) error {
 func renderCmd(args []string) error {
 	fs := flag.NewFlagSet("figures render", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "", "experiments to render: comma-separated IDs or 'all'")
-		resDir = fs.String("results", "", "results directory holding <exp>.results.json exports")
-		out    = fs.String("out", "", "output file (single experiment) or directory (with -exp all); default stdout")
-		format = fs.String("format", "markdown", "output format: markdown or text")
+		exp       = fs.String("exp", "", "experiments to render: comma-separated IDs (built-in or campaign names) or 'all'")
+		campaignF = fs.String("campaign", "", "campaign spec whose recorded results to render (a JSON file or embedded spec name)")
+		resDir    = fs.String("results", "", "results directory holding <exp>.results.json exports")
+		out       = fs.String("out", "", "output file (single experiment) or directory (with -exp all); default stdout")
+		format    = fs.String("format", "markdown", "output format: markdown or text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -210,9 +294,21 @@ func renderCmd(args []string) error {
 	if *resDir == "" {
 		return fmt.Errorf("render: missing -results directory")
 	}
-	ids, err := expandIDs(*exp)
-	if err != nil {
-		return err
+	if (*exp == "") == (*campaignF == "") {
+		return fmt.Errorf("render: need exactly one of -exp or -campaign")
+	}
+	var ids []string
+	if *campaignF != "" {
+		spec, err := campaign.Resolve(*campaignF)
+		if err != nil {
+			return err
+		}
+		ids = []string{spec.Name}
+	} else {
+		var err error
+		if ids, err = expandRenderIDs(*exp, *resDir); err != nil {
+			return err
+		}
 	}
 	reg := sweep.Registry()
 	multi := len(ids) > 1
@@ -227,8 +323,14 @@ func renderCmd(args []string) error {
 		path := filepath.Join(*resDir, id+".results.json")
 		f, err := results.LoadFile(path)
 		if err != nil {
-			if multi && os.IsNotExist(err) {
-				continue // not every experiment has been run into this directory
+			if multi {
+				// Not every experiment has been run into this directory, and
+				// one unreadable export (torn write, foreign schema) must not
+				// sink the render of every valid one.
+				if !os.IsNotExist(err) {
+					fmt.Fprintf(os.Stderr, "render: skipping %s: %v\n", id, err)
+				}
+				continue
 			}
 			return err
 		}

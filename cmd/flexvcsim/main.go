@@ -14,10 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"flexvc/internal/buffer"
+	"flexvc/internal/campaign"
 	"flexvc/internal/config"
 	"flexvc/internal/core"
 	"flexvc/internal/results"
@@ -38,7 +38,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("flexvcsim", flag.ContinueOnError)
 	var (
-		scale    = fs.String("scale", "small", "system scale: small, medium or paper")
+		scale    = fs.String("scale", "", "system scale: tiny, small (default), medium or paper (campaign specs may set their own default)")
 		traffic  = fs.String("traffic", "un", "traffic pattern: un, adv or bursty-un")
 		reactive = fs.Bool("reactive", false, "enable request-reply traffic")
 		routingF = fs.String("routing", "min", "routing: min, val, par or pb")
@@ -53,6 +53,9 @@ func run(args []string) error {
 		damqPriv = fs.Float64("damq-private", 0.75, "DAMQ private fraction per VC")
 		load     = fs.Float64("load", 0.5, "offered load in phits/node/cycle")
 		scenF    = fs.String("scenario", "", "JSON scenario file: a phased workload that overrides -traffic/-load and reports windowed transient telemetry")
+		campF    = fs.String("campaign", "", "campaign spec (JSON file or embedded name): run one of its variants instead of building a config from flags")
+		campSec  = fs.String("section", "", "campaign section title (default: the first section)")
+		campVar  = fs.String("variant", "", "campaign variant label (required with -campaign; pass an empty spec to list)")
 		seeds    = fs.Int("seeds", 1, "number of independent replications to average")
 		speedup  = fs.Int("speedup", 0, "router speedup override (0 keeps the scale default)")
 		seed     = fs.Int64("seed", 1, "base random seed")
@@ -65,48 +68,76 @@ func run(args []string) error {
 		return err
 	}
 
-	cfg, err := buildConfig(*scale)
-	if err != nil {
-		return err
+	var cfg config.Config
+	var err error
+	effScale := *scale
+	if effScale == "" {
+		effScale = "small"
 	}
-	cfg.Traffic = config.TrafficKind(normalizeTraffic(*traffic))
-	cfg.Reactive = *reactive
-	cfg.Load = *load
-	cfg.Seed = *seed
-	if *scenF != "" {
-		sc, err := scenario.Load(*scenF)
-		if err != nil {
+	if *campF != "" {
+		// The spec defines the configuration; flags that would silently be
+		// overwritten by the variant's settings are rejected instead of
+		// ignored. Only -scale, -load, -seed(s), -speedup, -route-table-mb,
+		// -workers, -out and -v compose with -campaign.
+		haveLoad := false
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "load":
+				haveLoad = true
+			case "traffic", "reactive", "routing", "sensing", "policy", "mincred",
+				"vcs", "reqvcs", "repvcs", "select", "buffers", "damq-private", "scenario":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("-campaign selects the configuration from the spec; drop %s (or run without -campaign)", strings.Join(conflict, ", "))
+		}
+		if cfg, effScale, err = campaignConfig(*campF, *campSec, *campVar, *scale, haveLoad, *load); err != nil {
 			return err
 		}
-		cfg.Scenario = sc
-		// The scenario carries per-phase loads; report its peak as the
-		// configured offered load.
-		cfg.Load = sc.MaxLoad()
+		cfg.Seed = *seed
+	} else {
+		if cfg, err = buildConfig(*scale); err != nil {
+			return err
+		}
+		if cfg.Traffic, err = config.ParseTrafficKind(*traffic); err != nil {
+			return err
+		}
+		cfg.Reactive = *reactive
+		cfg.Load = *load
+		cfg.Seed = *seed
+		if *scenF != "" {
+			sc, err := scenario.Load(*scenF)
+			if err != nil {
+				return err
+			}
+			cfg.Scenario = sc
+			// The scenario carries per-phase loads; report its peak as the
+			// configured offered load.
+			cfg.Load = sc.MaxLoad()
+		}
+		if cfg.Routing, err = routing.ParseKind(*routingF); err != nil {
+			return err
+		}
+		if cfg.Sensing, err = routing.ParseSensing(*sensing); err != nil {
+			return err
+		}
+		if cfg.Scheme, err = buildScheme(*policy, *minCred, *vcs, *reqVCs, *repVCs, *selFn, *reactive); err != nil {
+			return err
+		}
+		if cfg.BufferOrg, err = buffer.ParseOrganization(*bufOrg); err != nil {
+			return err
+		}
+		if cfg.BufferOrg == buffer.DAMQ {
+			cfg.DAMQPrivateFraction = *damqPriv
+		}
 	}
 	if *tableMB != 0 {
 		cfg.RouteTableBytes = *tableMB << 20
 	}
 	if *speedup > 0 {
 		cfg.Speedup = *speedup
-	}
-
-	if cfg.Routing, err = routing.ParseKind(*routingF); err != nil {
-		return err
-	}
-	if cfg.Sensing, err = routing.ParseSensing(*sensing); err != nil {
-		return err
-	}
-	if cfg.Scheme, err = buildScheme(*policy, *minCred, *vcs, *reqVCs, *repVCs, *selFn, *reactive); err != nil {
-		return err
-	}
-	switch *bufOrg {
-	case "static":
-		cfg.BufferOrg = buffer.Static
-	case "damq":
-		cfg.BufferOrg = buffer.DAMQ
-		cfg.DAMQPrivateFraction = *damqPriv
-	default:
-		return fmt.Errorf("unknown buffer organisation %q", *bufOrg)
 	}
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -141,7 +172,7 @@ func run(args []string) error {
 		}}))
 	}
 	if *out != "" {
-		if err := results.WriteSinglePoint(*out, cfg, *scale, agg, runs); err != nil {
+		if err := results.WriteSinglePoint(*out, cfg, effScale, agg, runs); err != nil {
 			return fmt.Errorf("writing %s: %w", *out, err)
 		}
 		fmt.Printf("  wrote %s\n", *out)
@@ -150,88 +181,100 @@ func run(args []string) error {
 }
 
 func buildConfig(scale string) (config.Config, error) {
-	switch scale {
-	case "small":
-		return config.Small(), nil
-	case "medium":
-		return config.Medium(), nil
-	case "paper", "full":
-		return config.Paper(), nil
-	case "tiny":
-		return config.Tiny(), nil
-	default:
-		return config.Config{}, fmt.Errorf("unknown scale %q", scale)
-	}
+	return config.AtScale(scale)
 }
 
-func normalizeTraffic(t string) string {
-	switch t {
-	case "un", "uniform":
-		return string(config.TrafficUniform)
-	case "adv", "adversarial":
-		return string(config.TrafficAdversarial)
-	case "bursty", "bursty-un", "bursty-uniform":
-		return string(config.TrafficBursty)
-	case "bitrev", "bit-reverse":
-		return string(config.TrafficBitReverse)
-	case "hotspot", "group-hotspot":
-		return string(config.TrafficGroupHotspot)
+// campaignConfig builds the configuration of one variant of a campaign spec:
+// the scale's base config, the section's scenario, and the variant's layered
+// settings — exactly what a `figures run -campaign` sweep would simulate for
+// that variant, which makes flexvcsim the single-point debugging tool for
+// campaigns. It returns the effective scale name alongside the config.
+func campaignConfig(arg, sectionTitle, variantLabel, scale string, haveLoad bool, load float64) (config.Config, string, error) {
+	fail := func(err error) (config.Config, string, error) { return config.Config{}, "", err }
+	c, err := campaign.Resolve(arg)
+	if err != nil {
+		return fail(err)
+	}
+	sections, err := c.Compile()
+	if err != nil {
+		return fail(err)
+	}
+	sec := &sections[0]
+	if sectionTitle != "" {
+		sec = nil
+		titles := make([]string, len(sections))
+		for i := range sections {
+			titles[i] = sections[i].Title
+			if sections[i].Title == sectionTitle {
+				sec = &sections[i]
+			}
+		}
+		if sec == nil {
+			return fail(fmt.Errorf("campaign %s has no section %q (sections: %s)", c.Name, sectionTitle, strings.Join(titles, " | ")))
+		}
+	}
+	var v *sweep.Variant
+	labels := make([]string, len(sec.Variants))
+	for i := range sec.Variants {
+		labels[i] = sec.Variants[i].Label
+		if labels[i] == variantLabel {
+			v = &sec.Variants[i]
+		}
+	}
+	if v == nil {
+		return fail(fmt.Errorf("campaign %s section %q: pick a variant with -variant (variants: %s)", c.Name, sec.Title, strings.Join(labels, " | ")))
+	}
+	if scale == "" {
+		scale = c.Scale
+	}
+	cfg, err := config.AtScale(scale)
+	if err != nil {
+		return fail(err)
+	}
+	cfg.Scenario = sec.Scenario
+	v.Apply(&cfg)
+	switch {
+	case haveLoad:
+		cfg.Load = load
+	case sec.Scenario != nil:
+		cfg.Load = sec.Scenario.MaxLoad()
 	default:
-		return t
+		cfg.Load = sec.Loads[0]
 	}
-}
-
-// parseVCs parses "local/global" into a SubpathVCs.
-func parseVCs(s string) (core.SubpathVCs, error) {
-	parts := strings.Split(s, "/")
-	if len(parts) != 2 {
-		return core.SubpathVCs{}, fmt.Errorf("VC spec %q must be local/global, e.g. 4/2", s)
+	if scale == "" {
+		scale = "small"
 	}
-	l, err := strconv.Atoi(parts[0])
-	if err != nil {
-		return core.SubpathVCs{}, err
-	}
-	g, err := strconv.Atoi(parts[1])
-	if err != nil {
-		return core.SubpathVCs{}, err
-	}
-	return core.SubpathVCs{Local: l, Global: g}, nil
+	return cfg, scale, nil
 }
 
 func buildScheme(policy string, minCred bool, vcs, reqVCs, repVCs, selFn string, reactive bool) (core.Scheme, error) {
 	var s core.Scheme
-	switch policy {
-	case "baseline", "base":
-		s.Policy = core.Baseline
-	case "flexvc", "flex":
-		s.Policy = core.FlexVC
-	default:
-		return s, fmt.Errorf("unknown policy %q", policy)
-	}
-	s.MinCred = minCred
-	fn, err := core.ParseSelectionFn(selFn)
-	if err != nil {
+	var err error
+	if s.Policy, err = core.ParsePolicy(policy); err != nil {
 		return s, err
 	}
-	s.Selection = fn
+	s.MinCred = minCred
+	if s.Selection, err = core.ParseSelectionFn(selFn); err != nil {
+		return s, err
+	}
 
 	if reactive {
 		if reqVCs == "" || repVCs == "" {
 			// Default to mirroring the single-class spec per subpath.
 			reqVCs, repVCs = vcs, vcs
 		}
-		req, err := parseVCs(reqVCs)
+		req, err := core.ParseSubpathVCs(reqVCs)
 		if err != nil {
 			return s, err
 		}
-		rep, err := parseVCs(repVCs)
+		rep, err := core.ParseSubpathVCs(repVCs)
 		if err != nil {
 			return s, err
 		}
 		s.VCs = core.VCConfig{Request: req, Reply: rep}
 		return s, nil
 	}
-	req, err := parseVCs(vcs)
+	req, err := core.ParseSubpathVCs(vcs)
 	if err != nil {
 		return s, err
 	}

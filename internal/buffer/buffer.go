@@ -34,12 +34,29 @@ const (
 	DAMQ
 )
 
+// Organizations lists every buffer organisation, in a stable order, for
+// sweeps and exhaustive round-trip tests.
+var Organizations = []Organization{Static, DAMQ}
+
 // String implements fmt.Stringer.
 func (o Organization) String() string {
 	if o == Static {
 		return "static"
 	}
 	return "damq"
+}
+
+// ParseOrganization parses the textual form produced by String ("static" or
+// "damq"). Unknown names error instead of defaulting, so spec files fail
+// loudly.
+func ParseOrganization(s string) (Organization, error) {
+	switch s {
+	case "static":
+		return Static, nil
+	case "damq":
+		return DAMQ, nil
+	}
+	return Static, fmt.Errorf("unknown buffer organisation %q (want static or damq)", s)
 }
 
 // Config describes the buffer organisation of one input port.

@@ -1,0 +1,24 @@
+package buffer
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOrganizationRoundTrip exhaustively round-trips every buffer
+// organisation through its textual form, so campaign specs can name either
+// and a renamed String() cannot silently diverge from the parser.
+func TestOrganizationRoundTrip(t *testing.T) {
+	if len(Organizations) != 2 {
+		t.Fatalf("Organizations has %d entries; update this test alongside new organisations", len(Organizations))
+	}
+	for _, o := range Organizations {
+		got, err := ParseOrganization(o.String())
+		if err != nil || got != o {
+			t.Errorf("ParseOrganization(%q) = %v, %v; want %v", o.String(), got, err, o)
+		}
+	}
+	if _, err := ParseOrganization("bogus"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("ParseOrganization(bogus) err = %v, want an error naming the input", err)
+	}
+}

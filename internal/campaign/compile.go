@@ -1,0 +1,408 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+
+	"flexvc/internal/buffer"
+	"flexvc/internal/config"
+	"flexvc/internal/core"
+	"flexvc/internal/routing"
+	"flexvc/internal/scenario"
+	"flexvc/internal/sweep"
+)
+
+// Settings is one bundle of configuration overrides. Every field is optional
+// (nil leaves the base configuration's value in place) and uses the same
+// textual vocabulary as the CLI flags; values are parsed and range-checked at
+// compile time, never at simulation time.
+type Settings struct {
+	// Traffic is the pattern name or alias (un, adv, bursty-un, transpose,
+	// bit-reverse, shuffle, group-hotspot).
+	Traffic *string `json:"traffic,omitempty"`
+	// Routing is the routing algorithm (min, val, par, pb).
+	Routing *string `json:"routing,omitempty"`
+	// Sensing is PB's congestion sensing (per-port, per-vc).
+	Sensing *string `json:"sensing,omitempty"`
+	// Reactive enables request-reply traffic.
+	Reactive *bool `json:"reactive,omitempty"`
+	// RoutingThreshold is the UGAL/PB local-comparison offset in phits.
+	RoutingThreshold *int `json:"routing_threshold,omitempty"`
+	// Policy is the VC management policy (baseline, flexvc).
+	Policy *string `json:"policy,omitempty"`
+	// VCs is the VC arrangement ("4/2" single-class, "4/2+2/1" two-class).
+	VCs *string `json:"vcs,omitempty"`
+	// Select is FlexVC's VC selection function (jsq, highest, lowest,
+	// random).
+	Select *string `json:"select,omitempty"`
+	// MinCred enables FlexVC-minCred credit accounting.
+	MinCred *bool `json:"mincred,omitempty"`
+	// Buffers is the buffer organisation (static, damq).
+	Buffers *string `json:"buffers,omitempty"`
+	// DAMQPrivate is the DAMQ private fraction per VC, in [0,1].
+	DAMQPrivate *float64 `json:"damq_private,omitempty"`
+	// Speedup is the router-crossbar speedup (>= 1).
+	Speedup *int `json:"speedup,omitempty"`
+	// LocalBufPerVC / GlobalBufPerVC override the per-VC buffer capacities
+	// in phits.
+	LocalBufPerVC  *int `json:"local_buf_per_vc,omitempty"`
+	GlobalBufPerVC *int `json:"global_buf_per_vc,omitempty"`
+	// AvgBurstLength is the mean burst length in packets (bursty-un, >= 1).
+	AvgBurstLength *float64 `json:"avg_burst_length,omitempty"`
+	// HotspotFraction / HotspotGroup parameterize group-hotspot traffic.
+	HotspotFraction *float64 `json:"hotspot_fraction,omitempty"`
+	HotspotGroup    *int     `json:"hotspot_group,omitempty"`
+}
+
+// compile parses every present setting into a single application closure.
+// ctx names the settings' position in the spec for error messages.
+func (s *Settings) compile(ctx string) (func(*config.Config), error) {
+	if s == nil {
+		return func(*config.Config) {}, nil
+	}
+	bad := func(field string, err error) error {
+		return fmt.Errorf("campaign: %s: %s: %w", ctx, field, err)
+	}
+	var setters []func(*config.Config)
+	if s.Traffic != nil {
+		k, err := config.ParseTrafficKind(*s.Traffic)
+		if err != nil {
+			return nil, bad("traffic", err)
+		}
+		setters = append(setters, func(c *config.Config) { c.Traffic = k })
+	}
+	if s.Routing != nil {
+		k, err := routing.ParseKind(*s.Routing)
+		if err != nil {
+			return nil, bad("routing", err)
+		}
+		setters = append(setters, func(c *config.Config) { c.Routing = k })
+	}
+	if s.Sensing != nil {
+		m, err := routing.ParseSensing(*s.Sensing)
+		if err != nil {
+			return nil, bad("sensing", err)
+		}
+		setters = append(setters, func(c *config.Config) { c.Sensing = m })
+	}
+	if s.Reactive != nil {
+		v := *s.Reactive
+		setters = append(setters, func(c *config.Config) { c.Reactive = v })
+	}
+	if s.RoutingThreshold != nil {
+		v := *s.RoutingThreshold
+		if v < 0 {
+			return nil, bad("routing_threshold", fmt.Errorf("must be non-negative, got %d", v))
+		}
+		setters = append(setters, func(c *config.Config) { c.RoutingThreshold = v })
+	}
+	if s.Policy != nil {
+		p, err := core.ParsePolicy(*s.Policy)
+		if err != nil {
+			return nil, bad("policy", err)
+		}
+		setters = append(setters, func(c *config.Config) { c.Scheme.Policy = p })
+	}
+	if s.VCs != nil {
+		vcs, err := core.ParseVCConfig(*s.VCs)
+		if err != nil {
+			return nil, bad("vcs", err)
+		}
+		setters = append(setters, func(c *config.Config) { c.Scheme.VCs = vcs })
+	}
+	if s.Select != nil {
+		fn, err := core.ParseSelectionFn(*s.Select)
+		if err != nil {
+			return nil, bad("select", err)
+		}
+		setters = append(setters, func(c *config.Config) { c.Scheme.Selection = fn })
+	}
+	if s.MinCred != nil {
+		v := *s.MinCred
+		setters = append(setters, func(c *config.Config) { c.Scheme.MinCred = v })
+	}
+	if s.Buffers != nil {
+		org, err := buffer.ParseOrganization(*s.Buffers)
+		if err != nil {
+			return nil, bad("buffers", err)
+		}
+		setters = append(setters, func(c *config.Config) { c.BufferOrg = org })
+	}
+	if s.DAMQPrivate != nil {
+		v := *s.DAMQPrivate
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return nil, bad("damq_private", fmt.Errorf("fraction %v outside [0,1]", v))
+		}
+		setters = append(setters, func(c *config.Config) { c.DAMQPrivateFraction = v })
+	}
+	if s.Speedup != nil {
+		v := *s.Speedup
+		if v < 1 {
+			return nil, bad("speedup", fmt.Errorf("must be >= 1, got %d", v))
+		}
+		setters = append(setters, func(c *config.Config) { c.Speedup = v })
+	}
+	if s.LocalBufPerVC != nil {
+		v := *s.LocalBufPerVC
+		if v < 1 {
+			return nil, bad("local_buf_per_vc", fmt.Errorf("must be positive, got %d", v))
+		}
+		setters = append(setters, func(c *config.Config) { c.LocalBufPerVC = v })
+	}
+	if s.GlobalBufPerVC != nil {
+		v := *s.GlobalBufPerVC
+		if v < 1 {
+			return nil, bad("global_buf_per_vc", fmt.Errorf("must be positive, got %d", v))
+		}
+		setters = append(setters, func(c *config.Config) { c.GlobalBufPerVC = v })
+	}
+	if s.AvgBurstLength != nil {
+		v := *s.AvgBurstLength
+		if math.IsNaN(v) || v < 1 {
+			return nil, bad("avg_burst_length", fmt.Errorf("must be >= 1 packet, got %v", v))
+		}
+		setters = append(setters, func(c *config.Config) { c.AvgBurstLength = v })
+	}
+	if s.HotspotFraction != nil {
+		v := *s.HotspotFraction
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return nil, bad("hotspot_fraction", fmt.Errorf("fraction %v outside [0,1]", v))
+		}
+		setters = append(setters, func(c *config.Config) { c.HotspotFraction = v })
+	}
+	if s.HotspotGroup != nil {
+		v := *s.HotspotGroup
+		if v < 0 {
+			return nil, bad("hotspot_group", fmt.Errorf("must be non-negative, got %d", v))
+		}
+		setters = append(setters, func(c *config.Config) { c.HotspotGroup = v })
+	}
+	return func(c *config.Config) {
+		for _, set := range setters {
+			set(c)
+		}
+	}, nil
+}
+
+// CompiledSection is one section of a campaign, ready to run: the resolved
+// loads, the optional scenario and the sweep-layer variants.
+type CompiledSection struct {
+	Title    string
+	Loads    []float64
+	Scenario *scenario.Scenario
+	Variants []sweep.Variant
+}
+
+// Compile resolves the spec into runnable sections: settings parsed, axes
+// cross-producted, loads and variant definitions inherited from the campaign
+// level, every structural rule checked. The result is deterministic: same
+// spec, same sections, same variant order and labels.
+func (c *Campaign) Compile() ([]CompiledSection, error) {
+	if !nameOK(c.Name) {
+		return nil, fmt.Errorf("campaign: name %q must be a non-empty lowercase slug ([a-z0-9-], no leading/trailing dash): it names checkpoints and the results export", c.Name)
+	}
+	if c.Scale != "" {
+		if _, err := config.AtScale(c.Scale); err != nil {
+			return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
+		}
+	}
+	if c.Seeds < 0 {
+		return nil, fmt.Errorf("campaign %s: seeds must be non-negative, got %d", c.Name, c.Seeds)
+	}
+	if len(c.Sections) == 0 {
+		return nil, fmt.Errorf("campaign %s: needs at least one section", c.Name)
+	}
+	if len(c.Axes) > 0 && len(c.Variants) > 0 {
+		return nil, fmt.Errorf("campaign %s: define either default axes or default variants, not both", c.Name)
+	}
+	baseApply, err := c.Base.compile(fmt.Sprintf("campaign %s: base", c.Name))
+	if err != nil {
+		return nil, err
+	}
+	if err := checkLoads(c.Loads, fmt.Sprintf("campaign %s", c.Name)); err != nil {
+		return nil, err
+	}
+
+	sections := make([]CompiledSection, 0, len(c.Sections))
+	titles := map[string]bool{}
+	for i := range c.Sections {
+		sec := &c.Sections[i]
+		ctx := fmt.Sprintf("campaign %s: section %d", c.Name, i)
+		if sec.Title == "" {
+			return nil, fmt.Errorf("campaign: %s: title is required (it keys the section's results)", ctx)
+		}
+		if titles[sec.Title] {
+			return nil, fmt.Errorf("campaign: %s: duplicate section title %q (titles key results and must be unique)", ctx, sec.Title)
+		}
+		titles[sec.Title] = true
+		secApply, err := sec.Base.compile(ctx + ": base")
+		if err != nil {
+			return nil, err
+		}
+
+		variants, err := compileVariants(sec, c, baseApply, secApply, ctx)
+		if err != nil {
+			return nil, err
+		}
+
+		loads := sec.Loads
+		if sec.Scenario != nil {
+			// Scenario phases carry their own loads; the section's single
+			// load is only the reported offered load. Campaign-level default
+			// loads deliberately do NOT apply here — they would sweep the
+			// identical scenario several times and render a fake load axis.
+			if err := sec.Scenario.Validate(); err != nil {
+				return nil, fmt.Errorf("campaign: %s: %w", ctx, err)
+			}
+			if len(loads) > 1 {
+				return nil, fmt.Errorf("campaign: %s: a scenario section takes at most one load (the reported offered load; phases carry their own), got %d", ctx, len(loads))
+			}
+			if len(loads) == 0 {
+				loads = []float64{sec.Scenario.MaxLoad()}
+			}
+		} else if len(loads) == 0 {
+			loads = c.Loads
+		}
+		if len(loads) == 0 {
+			return nil, fmt.Errorf("campaign: %s: no loads (set section or campaign loads, or a scenario)", ctx)
+		}
+		if err := checkLoads(loads, ctx); err != nil {
+			return nil, err
+		}
+		sections = append(sections, CompiledSection{
+			Title:    sec.Title,
+			Loads:    loads,
+			Scenario: sec.Scenario,
+			Variants: variants,
+		})
+	}
+	return sections, nil
+}
+
+// compileVariants resolves a section's variant definition (its own axes or
+// explicit variants, falling back to the campaign-level definition) into
+// sweep variants whose Apply chains campaign base, section base and variant
+// settings in that order.
+func compileVariants(sec *SectionSpec, c *Campaign, baseApply, secApply func(*config.Config), ctx string) ([]sweep.Variant, error) {
+	axes, explicit := sec.Axes, sec.Variants
+	if len(axes) > 0 && len(explicit) > 0 {
+		return nil, fmt.Errorf("campaign: %s: define either axes or variants, not both", ctx)
+	}
+	if len(axes) == 0 && len(explicit) == 0 {
+		axes, explicit = c.Axes, c.Variants
+	}
+
+	var specs []VariantSpec
+	var applies []func(*config.Config)
+	switch {
+	case len(explicit) > 0:
+		for vi := range explicit {
+			v := &explicit[vi]
+			apply, err := v.Set.compile(fmt.Sprintf("%s: variant %q", ctx, v.Label))
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, VariantSpec{Label: v.Label})
+			applies = append(applies, apply)
+		}
+	case len(axes) > 0:
+		// Cross-product: one compiled closure per axis value, combined
+		// row-major with the first axis varying slowest.
+		type compiledValue struct {
+			label string
+			apply func(*config.Config)
+		}
+		compiled := make([][]compiledValue, len(axes))
+		for ai := range axes {
+			ax := &axes[ai]
+			if len(ax.Values) == 0 {
+				return nil, fmt.Errorf("campaign: %s: axis %q needs at least one value", ctx, ax.Name)
+			}
+			for _, v := range ax.Values {
+				if v.Label == "" {
+					return nil, fmt.Errorf("campaign: %s: axis %q: every value needs a label (labels key results)", ctx, ax.Name)
+				}
+				apply, err := v.Set.compile(fmt.Sprintf("%s: axis %q value %q", ctx, ax.Name, v.Label))
+				if err != nil {
+					return nil, err
+				}
+				compiled[ai] = append(compiled[ai], compiledValue{label: v.Label, apply: apply})
+			}
+		}
+		idx := make([]int, len(axes))
+		for {
+			parts := make([]string, len(axes))
+			chain := make([]func(*config.Config), len(axes))
+			for ai, vi := range idx {
+				parts[ai] = compiled[ai][vi].label
+				chain[ai] = compiled[ai][vi].apply
+			}
+			specs = append(specs, VariantSpec{Label: joinLabels(parts)})
+			applies = append(applies, func(c *config.Config) {
+				for _, apply := range chain {
+					apply(c)
+				}
+			})
+			// Advance the last axis fastest.
+			ai := len(idx) - 1
+			for ; ai >= 0; ai-- {
+				idx[ai]++
+				if idx[ai] < len(compiled[ai]) {
+					break
+				}
+				idx[ai] = 0
+			}
+			if ai < 0 {
+				break
+			}
+		}
+	default:
+		return nil, fmt.Errorf("campaign: %s: no variants (define axes or variants on the section or the campaign)", ctx)
+	}
+
+	variants := make([]sweep.Variant, 0, len(specs))
+	seen := map[string]bool{}
+	for i := range specs {
+		label := specs[i].Label
+		if label == "" {
+			return nil, fmt.Errorf("campaign: %s: variant %d needs a label (labels key results)", ctx, i)
+		}
+		if seen[label] {
+			return nil, fmt.Errorf("campaign: %s: duplicate variant label %q (labels key results and must be unique)", ctx, label)
+		}
+		seen[label] = true
+		apply := applies[i]
+		variants = append(variants, sweep.Variant{Label: label, Apply: func(cfg *config.Config) {
+			baseApply(cfg)
+			secApply(cfg)
+			apply(cfg)
+		}})
+	}
+	return variants, nil
+}
+
+// joinLabels joins axis-value labels into one variant label.
+func joinLabels(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += p
+	}
+	return out
+}
+
+// checkLoads rejects out-of-range or non-finite offered loads at compile
+// time, before any simulation is assembled.
+func checkLoads(loads []float64, ctx string) error {
+	for _, l := range loads {
+		if math.IsNaN(l) || l < 0 || l > 1 {
+			return fmt.Errorf("campaign: %s: load %v outside [0,1] phits/node/cycle", ctx, l)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"flexvc/internal/results"
+	"flexvc/internal/sweep"
+)
+
+// TestFig5CampaignByteIdentical is the campaign engine's ground truth: the
+// embedded fig5 spec, run through the checkpointed runner, must produce a
+// results export byte-identical to the Go-coded fig5 experiment's. This pins
+// every layer the spec crosses — section order and titles, variant labels and
+// order, loads, and (via the config fingerprints embedded in each record) the
+// exact config.Config every variant compiles to.
+//
+// Quick mode and a single trimmed load point keep the runtime down; the
+// fingerprints still cover the full configuration space because every variant
+// of every section is simulated.
+func TestFig5CampaignByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 2x14 small-scale points")
+	}
+	opts := sweep.Options{Scale: "small", Seeds: 1, Quick: true, Loads: []float64{0.2}}
+	title := sweep.Registry()["fig5"].Title
+
+	export := func(dir string, run func(o sweep.Options) error) []byte {
+		t.Helper()
+		store, err := results.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := opts
+		o.Results = store
+		if err := run(o); err != nil {
+			t.Fatal(err)
+		}
+		path, err := store.WriteExport("fig5", title)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	goCoded := export(t.TempDir(), func(o sweep.Options) error {
+		_, err := sweep.Run("fig5", o)
+		return err
+	})
+	spec, err := Builtin("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Title != title {
+		t.Errorf("embedded fig5 spec title %q must match the registry title %q for identical exports", spec.Title, title)
+	}
+	fromSpec := export(t.TempDir(), func(o sweep.Options) error {
+		_, err := Run(spec, o)
+		return err
+	})
+
+	if !bytes.Equal(goCoded, fromSpec) {
+		t.Errorf("campaign fig5 export differs from the Go-coded fig5 export\n--- go-coded (%d bytes) ---\n%.2000s\n--- campaign (%d bytes) ---\n%.2000s",
+			len(goCoded), goCoded, len(fromSpec), fromSpec)
+	}
+}
+
+// TestFig5CampaignSharesCheckpoints proves the practical consequence of key
+// equivalence: a campaign run against a store already populated by the
+// Go-coded runner restores every replication instead of re-simulating.
+func TestFig5CampaignSharesCheckpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 14 small-scale points")
+	}
+	opts := sweep.Options{Scale: "small", Seeds: 1, Quick: true, Loads: []float64{0.2}}
+	dir := t.TempDir()
+	store, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts
+	o.Results = store
+	if _, err := sweep.Run("fig5", o); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Builtin("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2 := opts
+	o2.Results = store2
+	var last sweep.Progress
+	o2.Progress = func(p sweep.Progress) { last = p }
+	if _, err := Run(spec, o2); err != nil {
+		t.Fatal(err)
+	}
+	if last.Done == 0 || last.Skipped != last.Done {
+		t.Errorf("campaign run restored %d of %d replications; want all restored from the Go-coded run's checkpoints", last.Skipped, last.Done)
+	}
+}

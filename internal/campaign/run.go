@@ -1,0 +1,56 @@
+package campaign
+
+import (
+	"fmt"
+
+	"flexvc/internal/sweep"
+)
+
+// Run executes the campaign through the sweep layer: sections run serially
+// through the checkpointed section runner (so campaign runs resume from a
+// results store exactly like built-in experiments) and the rendered report
+// has the same shape as a built-in figure's, including windowed-telemetry and
+// adaptation-lag tables for scenario sections.
+//
+// The options' scale and seed count win over the spec's defaults when set, so
+// command-line overrides behave the same for campaigns as for built-in
+// experiments.
+func Run(c *Campaign, opts sweep.Options) (*sweep.Report, error) {
+	sections, err := c.Compile()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Scale == "" && c.Scale != "" {
+		opts.Scale = c.Scale
+	}
+	if opts.Seeds <= 0 && c.Seeds > 0 {
+		opts.Seeds = c.Seeds
+	}
+	base, err := opts.BaseConfig()
+	if err != nil {
+		return nil, err
+	}
+
+	runner := opts.NewRunner(c.Name)
+	rep := &sweep.Report{ID: c.Name, Title: c.ReportTitle()}
+	for _, sec := range sections {
+		b := base
+		b.Scenario = sec.Scenario
+		series, err := runner.RunSection(sec.Title, b, sec.Variants, runner.EffectiveLoads(sec.Loads))
+		if err != nil {
+			return nil, fmt.Errorf("campaign %s: section %q: %w", c.Name, sec.Title, err)
+		}
+		rep.Sections = append(rep.Sections, sweep.Section{
+			Title:  sec.Title,
+			Body:   sweep.RenderSeries(sec.Title, series) + sweep.RenderTransientText(series),
+			Series: series,
+		})
+	}
+	rep.Notes = append(rep.Notes, c.Notes...)
+	scale := opts.Scale
+	if scale == "" {
+		scale = "small"
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf("campaign %s, scale=%s (%s)", c.Name, scale, base.Describe()))
+	return rep, nil
+}

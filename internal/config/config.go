@@ -2,6 +2,7 @@ package config
 
 import (
 	"fmt"
+	"strings"
 
 	"flexvc/internal/buffer"
 	"flexvc/internal/core"
@@ -43,6 +44,39 @@ const (
 	// nodes of group HotspotGroup.
 	TrafficGroupHotspot TrafficKind = "group-hotspot"
 )
+
+// TrafficKinds lists every traffic pattern, in a stable order, for sweeps and
+// exhaustive round-trip tests.
+var TrafficKinds = []TrafficKind{
+	TrafficUniform, TrafficAdversarial, TrafficBursty,
+	TrafficTranspose, TrafficBitReverse, TrafficShuffle, TrafficGroupHotspot,
+}
+
+// String implements fmt.Stringer (a TrafficKind is its own wire form).
+func (t TrafficKind) String() string { return string(t) }
+
+// ParseTrafficKind parses a traffic pattern name or alias into its canonical
+// TrafficKind, failing fast on unknown names. Parse(String(t)) round-trips
+// losslessly for every kind in TrafficKinds.
+func ParseTrafficKind(s string) (TrafficKind, error) {
+	switch s {
+	case "un", "uniform":
+		return TrafficUniform, nil
+	case "adv", "adversarial":
+		return TrafficAdversarial, nil
+	case "bursty-un", "bursty", "bursty-uniform":
+		return TrafficBursty, nil
+	case "transpose":
+		return TrafficTranspose, nil
+	case "bit-reverse", "bitrev":
+		return TrafficBitReverse, nil
+	case "shuffle":
+		return TrafficShuffle, nil
+	case "group-hotspot", "hotspot":
+		return TrafficGroupHotspot, nil
+	}
+	return TrafficUniform, fmt.Errorf("unknown traffic pattern %q (want un, adv, bursty-un, transpose, bit-reverse, shuffle or group-hotspot)", s)
+}
 
 // Config is the complete parameter set of one simulation.
 type Config struct {
@@ -220,6 +254,27 @@ func Tiny() Config {
 	c.MeasureCycles = 2000
 	c.DeadlockCycles = 3000
 	return c
+}
+
+// ScaleNames lists the canonical scale names AtScale accepts, in increasing
+// system size, for help text and exhaustive round-trip tests.
+func ScaleNames() []string { return []string{"tiny", "small", "medium", "paper"} }
+
+// AtScale returns the configuration for a scale name. The empty string means
+// "small" (the interactive default) and "full" is accepted as an alias of
+// "paper"; anything else errors, so spec files and flags fail loudly.
+func AtScale(name string) (Config, error) {
+	switch name {
+	case "tiny":
+		return Tiny(), nil
+	case "", "small":
+		return Small(), nil
+	case "medium":
+		return Medium(), nil
+	case "paper", "full":
+		return Paper(), nil
+	}
+	return Config{}, fmt.Errorf("unknown scale %q (want %s)", name, strings.Join(ScaleNames(), ", "))
 }
 
 // BuildTopology instantiates the configured topology.

@@ -1,0 +1,66 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTrafficKindRoundTrip exhaustively round-trips every traffic pattern
+// through its textual form, so campaign specs can name any pattern and a
+// renamed constant cannot silently diverge from the parser.
+func TestTrafficKindRoundTrip(t *testing.T) {
+	if len(TrafficKinds) != 7 {
+		t.Fatalf("TrafficKinds has %d entries; update this test alongside new patterns", len(TrafficKinds))
+	}
+	for _, k := range TrafficKinds {
+		got, err := ParseTrafficKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseTrafficKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	for alias, want := range map[string]TrafficKind{
+		"uniform": TrafficUniform, "adversarial": TrafficAdversarial,
+		"bursty": TrafficBursty, "bursty-uniform": TrafficBursty,
+		"bitrev": TrafficBitReverse, "hotspot": TrafficGroupHotspot,
+	} {
+		if got, err := ParseTrafficKind(alias); err != nil || got != want {
+			t.Errorf("ParseTrafficKind(%q) = %v, %v; want %v", alias, got, err, want)
+		}
+	}
+	if _, err := ParseTrafficKind("bogus"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("ParseTrafficKind(bogus) err = %v, want an error naming the input", err)
+	}
+}
+
+// TestAtScaleRoundTrip checks that every canonical scale name resolves and
+// that the resolved configurations are the ones the named constructors build.
+func TestAtScaleRoundTrip(t *testing.T) {
+	want := map[string]Config{
+		"tiny":   Tiny(),
+		"small":  Small(),
+		"medium": Medium(),
+		"paper":  Paper(),
+	}
+	names := ScaleNames()
+	if len(names) != len(want) {
+		t.Fatalf("ScaleNames() = %v; update this test alongside new scales", names)
+	}
+	for _, name := range names {
+		got, err := AtScale(name)
+		if err != nil {
+			t.Fatalf("AtScale(%q): %v", name, err)
+		}
+		if got != want[name] {
+			t.Errorf("AtScale(%q) differs from its constructor", name)
+		}
+	}
+	if got, err := AtScale(""); err != nil || got != Small() {
+		t.Errorf("AtScale(\"\") = %v, want Small()", err)
+	}
+	if got, err := AtScale("full"); err != nil || got != Paper() {
+		t.Errorf("AtScale(full) = %v, want Paper()", err)
+	}
+	if _, err := AtScale("bogus"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("AtScale(bogus) err = %v, want an error naming the input", err)
+	}
+}

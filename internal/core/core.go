@@ -14,6 +14,8 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"flexvc/internal/packet"
 	"flexvc/internal/topology"
@@ -33,12 +35,29 @@ const (
 	FlexVC
 )
 
+// Policies lists every VC-management policy, in a stable order, for sweeps
+// and exhaustive round-trip tests.
+var Policies = []Policy{Baseline, FlexVC}
+
 // String implements fmt.Stringer.
 func (p Policy) String() string {
 	if p == Baseline {
 		return "baseline"
 	}
 	return "flexvc"
+}
+
+// ParsePolicy parses the textual form produced by String ("baseline" or
+// "flexvc"). It is the fail-fast inverse spec layers (internal/campaign,
+// cmd/flexvcsim) rely on: unknown names error instead of defaulting.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "baseline", "base":
+		return Baseline, nil
+	case "flexvc", "flex":
+		return FlexVC, nil
+	}
+	return Baseline, fmt.Errorf("unknown VC management policy %q (want baseline or flexvc)", s)
 }
 
 // SubpathVCs is the VC count per link kind for one message class, written
@@ -68,6 +87,24 @@ func (s SubpathVCs) Add(o SubpathVCs) SubpathVCs {
 
 // String implements fmt.Stringer using the paper's "L/G" notation.
 func (s SubpathVCs) String() string { return fmt.Sprintf("%d/%d", s.Local, s.Global) }
+
+// ParseSubpathVCs parses the "local/global" notation produced by String,
+// e.g. "4/2". Counts must be non-negative integers.
+func ParseSubpathVCs(s string) (SubpathVCs, error) {
+	lo, gl, ok := strings.Cut(s, "/")
+	if !ok {
+		return SubpathVCs{}, fmt.Errorf("VC spec %q must be local/global, e.g. 4/2", s)
+	}
+	l, errL := strconv.Atoi(lo)
+	g, errG := strconv.Atoi(gl)
+	if errL != nil || errG != nil {
+		return SubpathVCs{}, fmt.Errorf("VC spec %q must be local/global with integer counts, e.g. 4/2", s)
+	}
+	if l < 0 || g < 0 {
+		return SubpathVCs{}, fmt.Errorf("VC spec %q: counts must be non-negative", s)
+	}
+	return SubpathVCs{Local: l, Global: g}, nil
+}
 
 // FromHopCount converts a hop count into the VC requirement it implies.
 func FromHopCount(h topology.HopCount) SubpathVCs {
@@ -142,6 +179,46 @@ func (c VCConfig) String() string {
 	}
 	t := c.Total()
 	return fmt.Sprintf("%s (%s+%s)", t.String(), c.Request.String(), c.Reply.String())
+}
+
+// ParseVCConfig parses a VC arrangement: "4/2" (single class), "4/2+2/1"
+// (request+reply subsequences) or the full display form produced by String,
+// "6/3 (4/2+2/1)", whose leading total is cross-checked against the
+// subsequences. Parse(String(c)) round-trips losslessly for every valid c.
+func ParseVCConfig(s string) (VCConfig, error) {
+	body := strings.TrimSpace(s)
+	// Display form: "total (req+rep)".
+	if open := strings.IndexByte(body, '('); open >= 0 {
+		if !strings.HasSuffix(body, ")") {
+			return VCConfig{}, fmt.Errorf("VC arrangement %q: unbalanced parenthesis", s)
+		}
+		totalStr := strings.TrimSpace(body[:open])
+		body = body[open+1 : len(body)-1]
+		total, err := ParseSubpathVCs(totalStr)
+		if err != nil {
+			return VCConfig{}, fmt.Errorf("VC arrangement %q: %w", s, err)
+		}
+		c, err := ParseVCConfig(body)
+		if err != nil {
+			return VCConfig{}, err
+		}
+		if c.Total() != total {
+			return VCConfig{}, fmt.Errorf("VC arrangement %q: stated total %s does not match subsequences summing to %s", s, total, c.Total())
+		}
+		return c, nil
+	}
+	req, rep, twoClass := strings.Cut(body, "+")
+	c := VCConfig{}
+	var err error
+	if c.Request, err = ParseSubpathVCs(strings.TrimSpace(req)); err != nil {
+		return VCConfig{}, fmt.Errorf("VC arrangement %q: request subsequence: %w", s, err)
+	}
+	if twoClass {
+		if c.Reply, err = ParseSubpathVCs(strings.TrimSpace(rep)); err != nil {
+			return VCConfig{}, fmt.Errorf("VC arrangement %q: reply subsequence: %w", s, err)
+		}
+	}
+	return c, nil
 }
 
 // Validate checks the configuration is usable on a topology for a given

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPolicyRoundTrip exhaustively round-trips every VC-management policy
+// through its textual form, so a renamed String() cannot silently diverge
+// from ParsePolicy.
+func TestPolicyRoundTrip(t *testing.T) {
+	for _, p := range Policies {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", p.String(), got, err, p)
+		}
+	}
+	for alias, want := range map[string]Policy{"base": Baseline, "flex": FlexVC} {
+		if got, err := ParsePolicy(alias); err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", alias, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("ParsePolicy(bogus) err = %v, want an error naming the input", err)
+	}
+}
+
+// TestSubpathVCsRoundTrip round-trips the "L/G" notation and checks that
+// malformed specs fail with actionable messages.
+func TestSubpathVCsRoundTrip(t *testing.T) {
+	for _, v := range []SubpathVCs{{0, 0}, {2, 1}, {4, 2}, {8, 4}, {10, 6}} {
+		got, err := ParseSubpathVCs(v.String())
+		if err != nil || got != v {
+			t.Errorf("ParseSubpathVCs(%q) = %v, %v; want %v", v.String(), got, err, v)
+		}
+	}
+	for _, bad := range []string{"", "4", "4/2/1", "a/2", "4/b", "-1/2", "4/-2", "4/2x"} {
+		if _, err := ParseSubpathVCs(bad); err == nil {
+			t.Errorf("ParseSubpathVCs(%q) should fail", bad)
+		} else if !strings.Contains(err.Error(), bad) {
+			t.Errorf("ParseSubpathVCs(%q) error %q should quote the input", bad, err)
+		}
+	}
+}
+
+// TestVCConfigRoundTrip exhaustively round-trips single- and two-class VC
+// arrangements through both the short and the display notation.
+func TestVCConfigRoundTrip(t *testing.T) {
+	configs := []VCConfig{
+		SingleClass(2, 1),
+		SingleClass(4, 2),
+		SingleClass(8, 4),
+		TwoClass(2, 1, 2, 1),
+		TwoClass(4, 2, 2, 1),
+		TwoClass(4, 3, 2, 1),
+		TwoClass(5, 3, 5, 3),
+	}
+	for _, c := range configs {
+		got, err := ParseVCConfig(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseVCConfig(%q) = %v, %v; want %v", c.String(), got, err, c)
+		}
+	}
+	// Short two-class notation without the total prefix.
+	if got, err := ParseVCConfig("4/2+2/1"); err != nil || got != TwoClass(4, 2, 2, 1) {
+		t.Errorf("ParseVCConfig(4/2+2/1) = %v, %v", got, err)
+	}
+	cases := map[string]string{
+		"":                "local/global",
+		"6/3 (4/2+2/1":    "unbalanced",
+		"7/3 (4/2+2/1)":   "total",
+		"4/2+":            "reply",
+		"x/2+2/1":         "request",
+		"6/3 (4/2+2/1) x": "unbalanced",
+	}
+	for bad, want := range cases {
+		if _, err := ParseVCConfig(bad); err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("ParseVCConfig(%q) err = %v, want it to mention %q", bad, err, want)
+		}
+	}
+}

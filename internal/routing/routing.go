@@ -53,14 +53,18 @@ func (k Kind) String() string {
 	}
 }
 
+// Kinds lists every routing algorithm, in a stable order, for sweeps and
+// exhaustive round-trip tests.
+var Kinds = []Kind{MIN, VAL, PAR, PB}
+
 // ParseKind parses the textual form produced by String.
 func ParseKind(s string) (Kind, error) {
-	for _, k := range []Kind{MIN, VAL, PAR, PB} {
+	for _, k := range Kinds {
 		if k.String() == s {
 			return k, nil
 		}
 	}
-	return MIN, fmt.Errorf("unknown routing algorithm %q", s)
+	return MIN, fmt.Errorf("unknown routing algorithm %q (want min, val, par or pb)", s)
 }
 
 // Nonminimal reports whether the algorithm can produce non-minimal routes and
@@ -88,6 +92,10 @@ func (s Sensing) String() string {
 	return "per-port"
 }
 
+// Sensings lists every sensing mode, in a stable order, for exhaustive
+// round-trip tests.
+var Sensings = []Sensing{SensePerPort, SensePerVC}
+
 // ParseSensing parses the textual form produced by String.
 func ParseSensing(v string) (Sensing, error) {
 	switch v {
@@ -96,7 +104,7 @@ func ParseSensing(v string) (Sensing, error) {
 	case "per-vc", "pervc", "vc":
 		return SensePerVC, nil
 	}
-	return SensePerPort, fmt.Errorf("unknown sensing mode %q", v)
+	return SensePerPort, fmt.Errorf("unknown sensing mode %q (want per-port or per-vc)", v)
 }
 
 // RandSource is the subset of math/rand the algorithms need; the simulator

@@ -310,7 +310,7 @@ func TestProgressiveDiverts(t *testing.T) {
 }
 
 func TestParseHelpers(t *testing.T) {
-	for _, k := range []Kind{MIN, VAL, PAR, PB} {
+	for _, k := range Kinds {
 		got, err := ParseKind(k.String())
 		if err != nil || got != k {
 			t.Errorf("ParseKind round trip failed for %v", k)
@@ -319,7 +319,7 @@ func TestParseHelpers(t *testing.T) {
 	if _, err := ParseKind("bogus"); err == nil {
 		t.Error("expected error for unknown routing kind")
 	}
-	for _, s := range []Sensing{SensePerPort, SensePerVC} {
+	for _, s := range Sensings {
 		got, err := ParseSensing(s.String())
 		if err != nil || got != s {
 			t.Errorf("ParseSensing round trip failed for %v", s)

@@ -32,6 +32,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 
 	"flexvc/internal/stats"
@@ -46,8 +47,13 @@ type Phase struct {
 	// accepts: uniform, adversarial, bursty-uniform, transpose, bit-reverse,
 	// shuffle, group-hotspot, and their aliases).
 	Pattern string `json:"pattern"`
-	// Load is the offered load in phits/node/cycle.
+	// Load is the offered load in phits/node/cycle (the load at the phase's
+	// first cycle when LoadEnd is set).
 	Load float64 `json:"load"`
+	// LoadEnd, when non-nil, turns the phase into a load ramp: the offered
+	// load is linearly interpolated from Load at the phase's first cycle to
+	// LoadEnd at its last. Nil keeps the load constant at Load.
+	LoadEnd *float64 `json:"load_end,omitempty"`
 	// Cycles is the phase duration; it must be a positive multiple of the
 	// scenario window.
 	Cycles int64 `json:"cycles"`
@@ -65,6 +71,9 @@ type Phase struct {
 func (p Phase) Label() string {
 	if p.Name != "" {
 		return p.Name
+	}
+	if p.LoadEnd != nil {
+		return fmt.Sprintf("%s@%.2f-%.2f", p.Pattern, p.Load, *p.LoadEnd)
 	}
 	return fmt.Sprintf("%s@%.2f", p.Pattern, p.Load)
 }
@@ -126,8 +135,19 @@ func (s *Scenario) Validate() error {
 		if !ok {
 			return fmt.Errorf("scenario %q: phase %d: unknown pattern %q (want uniform, adversarial, bursty-uniform, transpose, bit-reverse, shuffle or group-hotspot)", s.Name, i, p.Pattern)
 		}
+		if math.IsNaN(p.Load) || math.IsInf(p.Load, 0) {
+			return fmt.Errorf("scenario %q: phase %d: load must be finite, got %v", s.Name, i, p.Load)
+		}
 		if p.Load < 0 || p.Load > 1 {
 			return fmt.Errorf("scenario %q: phase %d (%s): load %.3f outside [0,1] phits/node/cycle", s.Name, i, p.Label(), p.Load)
+		}
+		if p.LoadEnd != nil {
+			if math.IsNaN(*p.LoadEnd) || math.IsInf(*p.LoadEnd, 0) {
+				return fmt.Errorf("scenario %q: phase %d: load_end must be finite, got %v", s.Name, i, *p.LoadEnd)
+			}
+			if *p.LoadEnd < 0 || *p.LoadEnd > 1 {
+				return fmt.Errorf("scenario %q: phase %d (%s): load_end %.3f outside [0,1] phits/node/cycle", s.Name, i, p.Label(), *p.LoadEnd)
+			}
 		}
 		if p.Cycles <= 0 {
 			return fmt.Errorf("scenario %q: phase %d (%s): cycles must be positive, got %d", s.Name, i, p.Label(), p.Cycles)
@@ -168,13 +188,17 @@ func (s *Scenario) TotalCycles() int64 {
 	return total
 }
 
-// MaxLoad returns the highest per-phase offered load, the natural single
-// number to report as the scenario's offered load.
+// MaxLoad returns the highest per-phase offered load (including ramp
+// endpoints), the natural single number to report as the scenario's offered
+// load.
 func (s *Scenario) MaxLoad() float64 {
 	m := 0.0
 	for _, p := range s.Phases {
 		if p.Load > m {
 			m = p.Load
+		}
+		if p.LoadEnd != nil && *p.LoadEnd > m {
+			m = *p.LoadEnd
 		}
 	}
 	return m
@@ -200,6 +224,7 @@ func (s *Scenario) TrafficPhases() []traffic.PhaseSpec {
 		specs[i] = traffic.PhaseSpec{
 			Pattern:         p.Pattern,
 			Load:            p.Load,
+			LoadEnd:         p.LoadEnd,
 			Cycles:          p.Cycles,
 			AvgBurstLength:  p.AvgBurstLength,
 			HotspotFraction: p.HotspotFraction,

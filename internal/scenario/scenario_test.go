@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"encoding/json"
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -12,6 +13,53 @@ import (
 
 func valid() *Scenario {
 	return UNToADV(0.4, 2000, 3000, 2000, 500)
+}
+
+func ptr(v float64) *float64 { return &v }
+
+// TestLoadRampPhases checks the ramp-specific surface of the scenario layer:
+// labels, MaxLoad over ramp endpoints, JSON round-trip of load_end and the
+// pass-through into traffic.PhaseSpec.
+func TestLoadRampPhases(t *testing.T) {
+	s := &Scenario{
+		Name:   "ramp-up",
+		Window: 500,
+		Phases: []Phase{
+			{Pattern: "uniform", Load: 0.1, Cycles: 2000},
+			{Pattern: "uniform", Load: 0.1, LoadEnd: ptr(0.7), Cycles: 4000},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxLoad(); got != 0.7 {
+		t.Errorf("MaxLoad = %v, want the ramp endpoint 0.7", got)
+	}
+	if l := s.Phases[1].Label(); !strings.Contains(l, "0.10") || !strings.Contains(l, "0.70") {
+		t.Errorf("ramp label %q should show both endpoints", l)
+	}
+	phases := s.TrafficPhases()
+	if phases[1].LoadEnd == nil || *phases[1].LoadEnd != 0.7 {
+		t.Errorf("traffic phase 1 LoadEnd = %v, want 0.7", phases[1].LoadEnd)
+	}
+	if phases[0].LoadEnd != nil {
+		t.Errorf("constant phase leaked a LoadEnd: %v", *phases[0].LoadEnd)
+	}
+
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"load_end":0.7`) {
+		t.Errorf("marshalled scenario should carry load_end: %s", b)
+	}
+	back, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Phases[1].LoadEnd == nil || *back.Phases[1].LoadEnd != 0.7 {
+		t.Errorf("parsed ramp lost load_end: %+v", back.Phases[1])
+	}
 }
 
 func TestValidScenario(t *testing.T) {
@@ -71,6 +119,11 @@ func TestValidationMessages(t *testing.T) {
 			s.Phases[0].HotspotFraction = -0.5
 		}), []string{"hotspot_fraction"}},
 		{"too many windows", mod(func(s *Scenario) { s.Window = 500; s.Phases[0].Cycles = 500 * (stats.MaxTimeSeriesWindows + 5) }), []string{"window of at least"}},
+		{"non-finite load", mod(func(s *Scenario) { s.Phases[0].Load = math.NaN() }), []string{"phase 0", "load must be finite"}},
+		{"infinite load", mod(func(s *Scenario) { s.Phases[1].Load = math.Inf(1) }), []string{"phase 1", "load must be finite"}},
+		{"non-finite load_end", mod(func(s *Scenario) { s.Phases[0].LoadEnd = ptr(math.NaN()) }), []string{"phase 0", "load_end must be finite"}},
+		{"infinite load_end", mod(func(s *Scenario) { s.Phases[2].LoadEnd = ptr(math.Inf(-1)) }), []string{"phase 2", "load_end must be finite"}},
+		{"load_end out of range", mod(func(s *Scenario) { s.Phases[0].LoadEnd = ptr(1.3) }), []string{"phase 0", "load_end", "[0,1]"}},
 	}
 	for _, tc := range cases {
 		err := tc.s.Validate()

@@ -433,6 +433,18 @@ func runFig8(opts Options) (*Report, error) {
 
 // --- Figure 9: VC selection functions at full load -------------------------
 
+// selectionKeyName maps each VC selection function to the literal used in
+// variant labels — and therefore in results keys. Deliberately NOT
+// fn.String(): checkpoint and export keys must survive a renamed Stringer,
+// so the results-key vocabulary is pinned here (and locked down by
+// TestResultsKeyStability).
+var selectionKeyName = map[core.SelectionFn]string{
+	core.JSQ:       "jsq",
+	core.HighestVC: "highest",
+	core.LowestVC:  "lowest",
+	core.RandomVC:  "random",
+}
+
 func runFig9(opts Options) (*Report, error) {
 	base, err := opts.BaseConfig()
 	if err != nil {
@@ -463,7 +475,7 @@ func runFig9(opts Options) (*Report, error) {
 	fmt.Fprintf(&body, "%-16s", "VC split")
 	fmt.Fprintf(&body, " %10s %10s", "baseline", "damq75")
 	for _, fn := range selections {
-		fmt.Fprintf(&body, " %10s", "flex-"+fn.String())
+		fmt.Fprintf(&body, " %10s", "flex-"+selectionKeyName[fn])
 	}
 	body.WriteByte('\n')
 	for _, sp := range splits {
@@ -473,7 +485,7 @@ func runFig9(opts Options) (*Report, error) {
 		}
 		for _, fn := range selections {
 			fn := fn
-			v := Variant{Label: "flexvc " + fn.String(), Apply: func(c *config.Config) {
+			v := Variant{Label: "flexvc " + selectionKeyName[fn], Apply: func(c *config.Config) {
 				c.BufferOrg = buffer.Static
 				c.Scheme = core.Scheme{Policy: core.FlexVC, VCs: sp.vcs, Selection: fn}
 			}}

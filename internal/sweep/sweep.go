@@ -168,16 +168,9 @@ func DefaultOptions() Options {
 
 // BaseConfig returns the simulator configuration for the chosen scale.
 func (o Options) BaseConfig() (config.Config, error) {
-	var cfg config.Config
-	switch o.Scale {
-	case "", "small":
-		cfg = config.Small()
-	case "medium":
-		cfg = config.Medium()
-	case "paper", "full":
-		cfg = config.Paper()
-	default:
-		return config.Config{}, fmt.Errorf("sweep: unknown scale %q (want small, medium or paper)", o.Scale)
+	cfg, err := config.AtScale(o.Scale)
+	if err != nil {
+		return config.Config{}, fmt.Errorf("sweep: %w", err)
 	}
 	if o.Quick {
 		cfg.WarmupCycles /= 2
@@ -213,6 +206,13 @@ func (o Options) parallelism() int {
 
 // Variant names one configuration of an experiment and how to derive it from
 // the base configuration.
+//
+// Label is the variant's stable identity: it keys checkpoints in the results
+// store and replications in exported results files, so it must be an explicit
+// literal (or assembled from the pinned results-key vocabulary, e.g.
+// selectionKeyName) — never the output of an enum's fmt.Stringer, whose
+// renaming would silently orphan every recorded checkpoint.
+// TestResultsKeyStability locks the built-in experiments' labels down.
 type Variant struct {
 	Label string
 	Apply func(*config.Config)
@@ -409,6 +409,37 @@ func (o Options) runSection(title string, base config.Config, variants []Variant
 // runMaxSection is runSection at full offered load (the bar-chart figures).
 func (o Options) runMaxSection(title string, base config.Config, variants []Variant) ([]Series, error) {
 	return o.runSection(title, base, variants, []float64{1.0})
+}
+
+// SectionRunner runs the sections of one externally defined experiment (a
+// campaign, see internal/campaign) through exactly the machinery the built-in
+// experiments use: the same scheduling, the same checkpoint key space and the
+// same progress accounting. Records land in the options' results store under
+// the experiment id the runner was created with.
+type SectionRunner struct{ opts Options }
+
+// NewRunner returns a section runner for an externally defined experiment.
+// The id plays the role a registry ID plays for built-in experiments: it keys
+// every checkpoint and names the results export.
+func (o Options) NewRunner(id string) *SectionRunner {
+	o.experiment = id
+	o.state = newRunState()
+	return &SectionRunner{opts: o}
+}
+
+// RunSection sweeps the variants over the loads as the experiment's next
+// section (panel). Sections must be run serially in a stable order: a
+// section's ordinal in the results schema is its call position, which is what
+// keeps exports deterministic across resumes.
+func (r *SectionRunner) RunSection(title string, base config.Config, variants []Variant, loads []float64) ([]Series, error) {
+	return r.opts.runSection(title, base, variants, loads)
+}
+
+// EffectiveLoads applies the option-level load override and quick-mode
+// trimming to a section's default loads, exactly as the built-in experiments
+// do.
+func (r *SectionRunner) EffectiveLoads(defaults []float64) []float64 {
+	return r.opts.loads(defaults)
 }
 
 // scaleName returns the scale's canonical name ("" means small).

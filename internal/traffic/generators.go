@@ -15,9 +15,21 @@ type Bernoulli struct {
 	params Params
 	dest   destinationFn
 	rate   float64
+	ramp   rampCache
 
 	rngs []*rand.Rand
 	ids  idAllocator
+}
+
+// rampCache memoizes a ramped phase's per-cycle generation parameter: the
+// value depends only on the cycle, while Generate runs once per node per
+// cycle, so recomputing the interpolation per call would put float divisions
+// on the hot path for nothing. Generators are per-replication (never shared
+// across goroutines), so the cache needs no synchronisation.
+type rampCache struct {
+	now int64
+	val float64
+	ok  bool
 }
 
 // NewBernoulli builds a Bernoulli source with the given destination function.
@@ -36,7 +48,14 @@ func (g *Bernoulli) Name() string { return g.name }
 // Generate implements Generator.
 func (g *Bernoulli) Generate(now int64, node packet.NodeID) *packet.Packet {
 	rng := g.rngs[node]
-	if rng.Float64() >= g.rate {
+	rate := g.rate
+	if g.params.Ramped() {
+		if !g.ramp.ok || g.ramp.now != now {
+			g.ramp.val, g.ramp.now, g.ramp.ok = g.params.rateAt(now), now, true
+		}
+		rate = g.ramp.val
+	}
+	if rng.Float64() >= rate {
 		return nil
 	}
 	dst := g.dest(rng, node)
@@ -65,6 +84,7 @@ type Bursty struct {
 	// the per-packet probability of ending it (1/avgBurstLength).
 	pOffToOn float64
 	pEnd     float64
+	ramp     rampCache
 
 	rngs  []*rand.Rand
 	state []burstState
@@ -88,28 +108,34 @@ func NewBursty(params Params) (*Bursty, error) {
 	}
 	g := &Bursty{params: params, dest: uniformDestination(params.Topo)}
 	g.pEnd = 1 / burst
-	// The ON state emits 1 phit/cycle, so the fraction of time spent ON must
-	// equal the load. Mean ON duration is burst*PacketSize cycles; solve the
-	// two-state chain for the OFF->ON probability.
-	load := params.Load
-	if load >= 1 {
-		load = 0.999999
-	}
-	meanOn := burst * float64(params.PacketSize)
-	meanOff := meanOn * (1 - load) / load
-	if meanOff < 1 {
-		meanOff = 1
-	}
-	g.pOffToOn = 1 / meanOff
-	if load <= 0 {
-		g.pOffToOn = 0
-	}
+	g.pOffToOn = burstyOffToOn(params.Load, burst, params.PacketSize)
 	g.rngs = make([]*rand.Rand, params.Topo.NumNodes())
 	g.state = make([]burstState, params.Topo.NumNodes())
 	for i := range g.rngs {
 		g.rngs[i] = nodeRNG(params.Seed, packet.NodeID(i))
 	}
 	return g, nil
+}
+
+// burstyOffToOn derives the per-cycle OFF->ON probability that makes the
+// two-state chain spend a `load` fraction of time ON. The ON state emits 1
+// phit/cycle, so the fraction of time spent ON must equal the load; mean ON
+// duration is burst*packetSize cycles, and the chain is solved for the
+// OFF->ON probability.
+func burstyOffToOn(load, burst float64, packetSize int) float64 {
+	if load >= 1 {
+		load = 0.999999
+	}
+	meanOn := burst * float64(packetSize)
+	meanOff := meanOn * (1 - load) / load
+	if meanOff < 1 {
+		meanOff = 1
+	}
+	p := 1 / meanOff
+	if load <= 0 {
+		p = 0
+	}
+	return p
 }
 
 // Name implements Generator.
@@ -120,7 +146,17 @@ func (g *Bursty) Generate(now int64, node packet.NodeID) *packet.Packet {
 	rng := g.rngs[node]
 	st := &g.state[node]
 	if !st.on {
-		if rng.Float64() >= g.pOffToOn {
+		pOn := g.pOffToOn
+		if g.params.Ramped() {
+			// Load ramps modulate how often bursts start; burst shape
+			// (length, 1 phit/cycle pacing) is load-independent.
+			if !g.ramp.ok || g.ramp.now != now {
+				g.ramp.val = burstyOffToOn(g.params.LoadAt(now), g.params.AvgBurstLength, g.params.PacketSize)
+				g.ramp.now, g.ramp.ok = now, true
+			}
+			pOn = g.ramp.val
+		}
+		if rng.Float64() >= pOn {
 			return nil
 		}
 		st.on = true

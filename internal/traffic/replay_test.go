@@ -3,6 +3,7 @@ package traffic
 import (
 	"bytes"
 	"encoding/binary"
+	"math"
 	"strings"
 	"testing"
 
@@ -114,6 +115,122 @@ func TestSwitchableReplayByteIdentical(t *testing.T) {
 	}
 	if c := streamBytes(t, build(4), nodes, 1500); bytes.Equal(a, c) {
 		t.Fatal("different seeds produced identical phased packet streams")
+	}
+}
+
+// rampPhases is a scenario with a linear load ramp in the middle phase.
+func rampPhases() []PhaseSpec {
+	end := 0.8
+	return []PhaseSpec{
+		{Pattern: "uniform", Load: 0.1, Cycles: 500},
+		{Pattern: "uniform", Load: 0.1, LoadEnd: &end, Cycles: 1000},
+		{Pattern: "uniform", Load: 0.8, Cycles: 500},
+	}
+}
+
+// TestRampReplayByteIdentical locks the load-ramp determinism contract down
+// to the byte level: same seed, byte-identical ramped packet stream.
+func TestRampReplayByteIdentical(t *testing.T) {
+	p := params(t, 0)
+	nodes := p.Topo.NumNodes()
+	build := func(seed int64) Generator {
+		q := p
+		q.Seed = seed
+		g, err := NewSwitchable(q, rampPhases())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a := streamBytes(t, build(7), nodes, 2000)
+	b := streamBytes(t, build(7), nodes, 2000)
+	if len(a) == 0 {
+		t.Fatal("ramped generator produced no packets")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two ramped generators with the same seed produced different packet streams")
+	}
+	if c := streamBytes(t, build(8), nodes, 2000); bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical ramped packet streams")
+	}
+}
+
+// TestRampInterpolatesLoad checks that a ramped phase actually modulates the
+// generation rate: the first half of the ramp must produce markedly fewer
+// packets than the second, and the endpoints must agree with constant-load
+// phases at the endpoint loads.
+func TestRampInterpolatesLoad(t *testing.T) {
+	p := params(t, 0)
+	nodes := p.Topo.NumNodes()
+	g, err := NewSwitchable(p, rampPhases())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(g Generator, from, to int64) int {
+		c := 0
+		for now := from; now < to; now++ {
+			for n := 0; n < nodes; n++ {
+				if g.Generate(now, packet.NodeID(n)) != nil {
+					c++
+				}
+			}
+		}
+		return c
+	}
+	_ = count(g, 0, 500) // drain the pre-ramp phase
+	firstHalf := count(g, 500, 1000)
+	secondHalf := count(g, 1000, 1500)
+	if firstHalf == 0 || secondHalf == 0 {
+		t.Fatalf("ramp halves generated %d and %d packets, want both positive", firstHalf, secondHalf)
+	}
+	// Mean load is 0.275 over the first half and 0.625 over the second
+	// (ratio ≈ 2.3); demand at least 1.5x to stay far from noise.
+	if float64(secondHalf) < 1.5*float64(firstHalf) {
+		t.Errorf("ramp second half generated %d packets vs %d in the first, want a clear increase", secondHalf, firstHalf)
+	}
+}
+
+// TestBurstyRampModulatesBurstStarts checks the ramped bursty chain: ramping
+// the load up makes bursts start more often.
+func TestBurstyRampModulatesBurstStarts(t *testing.T) {
+	p := params(t, 0)
+	p.AvgBurstLength = 3
+	nodes := p.Topo.NumNodes()
+	end := 0.9
+	g, err := NewSwitchable(p, []PhaseSpec{
+		{Pattern: "bursty-un", Load: 0.05, LoadEnd: &end, Cycles: 4000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, second := 0, 0
+	for now := int64(0); now < 4000; now++ {
+		for n := 0; n < nodes; n++ {
+			if g.Generate(now, packet.NodeID(n)) != nil {
+				if now < 2000 {
+					first++
+				} else {
+					second++
+				}
+			}
+		}
+	}
+	if first == 0 || second == 0 {
+		t.Fatalf("bursty ramp halves generated %d and %d packets, want both positive", first, second)
+	}
+	if float64(second) < 1.5*float64(first) {
+		t.Errorf("bursty ramp second half generated %d packets vs %d in the first, want a clear increase", second, first)
+	}
+}
+
+func TestSwitchableRejectsBadRamp(t *testing.T) {
+	p := params(t, 0)
+	for _, bad := range []float64{-0.1, 1.5, math.NaN()} {
+		bad := bad
+		phases := []PhaseSpec{{Pattern: "uniform", Load: 0.5, LoadEnd: &bad, Cycles: 10}}
+		if _, err := NewSwitchable(p, phases); err == nil || !strings.Contains(err.Error(), "load_end") {
+			t.Errorf("load_end %v: err=%v, want a load_end error", bad, err)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"flexvc/internal/packet"
@@ -13,8 +14,12 @@ import (
 type PhaseSpec struct {
 	// Pattern is the traffic pattern name (see CanonicalPattern).
 	Pattern string
-	// Load is the phase's offered load in phits/node/cycle.
+	// Load is the phase's offered load in phits/node/cycle (the load at the
+	// phase's first cycle when LoadEnd is set).
 	Load float64
+	// LoadEnd, when non-nil, linearly ramps the offered load from Load at
+	// the phase's first cycle to LoadEnd at its last (see Params.LoadAt).
+	LoadEnd *float64
 	// Cycles is the phase duration.
 	Cycles int64
 	// AvgBurstLength overrides Params.AvgBurstLength for this phase (0
@@ -73,8 +78,17 @@ func NewSwitchable(params Params, phases []PhaseSpec) (*Switchable, error) {
 		if ph.Load < 0 || ph.Load > 1 {
 			return nil, fmt.Errorf("traffic: phase %d (%s): load %.3f outside [0,1]", i, ph.Pattern, ph.Load)
 		}
+		if ph.LoadEnd != nil && (math.IsNaN(*ph.LoadEnd) || *ph.LoadEnd < 0 || *ph.LoadEnd > 1) {
+			return nil, fmt.Errorf("traffic: phase %d (%s): load_end %.3f outside [0,1]", i, ph.Pattern, *ph.LoadEnd)
+		}
 		p := params
 		p.Load = ph.Load
+		if ph.LoadEnd != nil && *ph.LoadEnd != ph.Load {
+			end := *ph.LoadEnd
+			p.LoadEnd = &end
+			p.RampStart = until
+			p.RampCycles = ph.Cycles
+		}
 		p.Seed = phaseSeed(params.Seed, i)
 		if ph.AvgBurstLength != 0 {
 			p.AvgBurstLength = ph.AvgBurstLength

@@ -39,8 +39,18 @@ type Params struct {
 	// Topo is the simulated topology (destination selection needs group
 	// structure for adversarial traffic).
 	Topo topology.Topology
-	// Load is the offered load in phits/node/cycle.
+	// Load is the offered load in phits/node/cycle (the load at cycle
+	// RampStart when LoadEnd is set).
 	Load float64
+	// LoadEnd, when non-nil, linearly ramps the offered load from Load at
+	// cycle RampStart to *LoadEnd at cycle RampStart+RampCycles; generation
+	// before and after the ramp window uses the nearest endpoint. Scenario
+	// load-ramp phases (internal/scenario) set these three fields.
+	LoadEnd *float64
+	// RampStart is the first cycle of the load ramp (LoadEnd != nil only).
+	RampStart int64
+	// RampCycles is the ramp duration in cycles (LoadEnd != nil only).
+	RampCycles int64
 	// PacketSize is the packet size in phits.
 	PacketSize int
 	// Seed seeds the per-node PRNG streams.
@@ -71,6 +81,34 @@ func (p Params) packetRate() float64 {
 		r = 1
 	}
 	return r
+}
+
+// Ramped reports whether the params describe a load ramp.
+func (p Params) Ramped() bool { return p.LoadEnd != nil && p.RampCycles > 0 }
+
+// LoadAt returns the offered load at the given cycle: Load when the params
+// are not ramped, otherwise the linear interpolation between Load and LoadEnd
+// across the ramp window, clamped to the endpoints outside it.
+func (p Params) LoadAt(now int64) float64 {
+	if !p.Ramped() {
+		return p.Load
+	}
+	frac := float64(now-p.RampStart) / float64(p.RampCycles)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return p.Load + (*p.LoadEnd-p.Load)*frac
+}
+
+// rateAt returns the per-cycle packet generation probability at the given
+// cycle, honouring a load ramp.
+func (p Params) rateAt(now int64) float64 {
+	q := p
+	q.Load = p.LoadAt(now)
+	return q.packetRate()
 }
 
 // nodeRNG builds a deterministic PRNG for one node.
