@@ -15,7 +15,7 @@ BENCH_GATE_PAT  := SmokeSweep|AllowedVCs|RouterStep|InputBufferCycle
 BENCH_GATE_PKGS := . ./internal/router ./internal/buffer
 BENCH_COUNT     ?= 3
 
-.PHONY: build test race lint bench-check bench-baseline ci nightly-sweep nightly-transient scenario-smoke campaign-smoke nightly-campaign
+.PHONY: build test race lint bench-check bench-baseline ci nightly-sweep nightly-transient scenario-smoke campaign-smoke campaignd-smoke nightly-campaign
 
 build:
 	$(GO) build ./...
@@ -88,6 +88,22 @@ RESULTS_DIR_CAMPAIGN ?= results/campaign-smoke
 campaign-smoke:
 	$(GO) run ./cmd/figures run -campaign smoke -quick -results $(RESULTS_DIR_CAMPAIGN)
 	$(GO) run ./cmd/figures render -campaign smoke -results $(RESULTS_DIR_CAMPAIGN) -out $(RESULTS_DIR_CAMPAIGN)/smoke.md
+
+# The sharded-campaign gate: run the embedded smoke spec once single-process
+# and once across two campaignd worker processes with the chaos hook armed
+# (one worker is SIGKILLed as soon as the first record lands; its leases
+# expire after 2s and the survivor takes the work over). The two exports must
+# be byte-identical — proving the shard-claim protocol's exactly-once and
+# crash-resume properties end to end on a real binary, not just in tests.
+RESULTS_DIR_CAMPAIGND ?= results/campaignd-smoke
+campaignd-smoke:
+	$(GO) run ./cmd/figures run -campaign smoke -quick -seeds 4 \
+		-results $(RESULTS_DIR_CAMPAIGND)/single
+	$(GO) run ./cmd/campaignd run -campaign smoke -quick -seeds 4 \
+		-workers 2 -kill-after 1 -lease-ttl 2s \
+		-results $(RESULTS_DIR_CAMPAIGND)/sharded
+	diff $(RESULTS_DIR_CAMPAIGND)/single/smoke.results.json \
+		$(RESULTS_DIR_CAMPAIGND)/sharded/smoke.results.json
 
 # The nightly campaign sweep: re-run the recorded pb-policies-transient
 # campaign from its checked-in spec and diff the rendered report against the

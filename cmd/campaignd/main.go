@@ -1,0 +1,277 @@
+// Command campaignd runs declarative campaigns (internal/campaign) across
+// multiple worker processes sharing one results directory, using the results
+// store's lease-based shard-claim protocol for per-record exactly-once
+// execution. Any worker can be SIGKILLed mid-run: survivors take over its
+// expired leases and the campaign resumes exactly where the checkpoints say,
+// exporting results byte-identical to a single-process `figures run
+// -campaign` run.
+//
+// Modes:
+//
+//	campaignd run    -campaign <name|spec.json> -results DIR -workers N
+//	                 one campaign, N local worker processes, wait, export
+//	campaignd serve  -addr :8377 -results DIR -workers N
+//	                 HTTP service: POST specs, stream NDJSON progress
+//	campaignd submit -server URL -campaign <name|spec.json>
+//	                 submit to a running server and follow its events
+//	campaignd work   (internal) one worker process, spawned by run/serve
+//
+// Examples:
+//
+//	campaignd run -campaign smoke -quick -workers 2 -results results/c
+//	campaignd serve -addr :8377 -results results/pool -workers 4
+//	campaignd submit -server http://localhost:8377 -campaign fig5 -seeds 5
+//	curl -N http://localhost:8377/api/campaigns/fig5-1/events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"flexvc/internal/campaign"
+	"flexvc/internal/campaignd"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "campaignd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch args[0] {
+	case "run":
+		return runCmd(args[1:])
+	case "serve":
+		return serveCmd(args[1:])
+	case "submit":
+		return submitCmd(args[1:])
+	case "work":
+		return workCmd(args[1:])
+	case "help", "-h", "-help", "--help":
+		return usage()
+	}
+	return fmt.Errorf("unknown mode %q (want run, serve, submit or work)", args[0])
+}
+
+func usage() error {
+	fmt.Println("usage: campaignd {run | serve | submit | work} [flags]")
+	fmt.Println("  run    execute one campaign across N local worker processes and export")
+	fmt.Println("  serve  HTTP campaign service over a shared results pool")
+	fmt.Println("  submit send a campaign to a running server and follow its progress")
+	fmt.Println("  work   (internal) one worker process of a sharded run")
+	return nil
+}
+
+// gitRevision mirrors the figures CLI's default revision stamp, so exports
+// produced by campaignd and by `figures run` are byte-identical when both
+// run from the same checkout.
+func gitRevision() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("campaignd run", flag.ContinueOnError)
+	var (
+		campaignF = fs.String("campaign", "", "campaign spec: a JSON file or an embedded spec name (see `figures list`)")
+		resDir    = fs.String("results", "", "shared results directory (required)")
+		workers   = fs.Int("workers", 2, "worker processes to fan replications across")
+		scale     = fs.String("scale", "", "system scale override (campaign specs may set their own default)")
+		seeds     = fs.Int("seeds", 0, "replications per point override")
+		quick     = fs.Bool("quick", false, "trim sweeps for a fast smoke run")
+		simW      = fs.Int("sim-workers", 0, "per-worker simulation concurrency (0 = GOMAXPROCS/workers)")
+		leaseTTL  = fs.Duration("lease-ttl", 0, "shard-claim lease expiry (0 = 60s); takeover latency for dead workers")
+		poll      = fs.Duration("poll", 0, "claim poll interval (0 = 50ms)")
+		killAfter = fs.Int("kill-after", 0, "chaos hook: SIGKILL one worker once this many records exist (0 = off)")
+		revision  = fs.String("revision", "", "source revision to stamp into the results (default: git rev-parse)")
+		quiet     = fs.Bool("quiet", false, "suppress per-event progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *resDir == "" || *campaignF == "" {
+		return fmt.Errorf("run: need -campaign and -results")
+	}
+	spec, err := campaign.Resolve(*campaignF)
+	if err != nil {
+		return err
+	}
+	rev := *revision
+	if rev == "" {
+		rev = gitRevision()
+	}
+	co := &campaignd.Coordinator{
+		Spec:                spec,
+		ResultsDir:          *resDir,
+		Workers:             *workers,
+		Scale:               *scale,
+		Seeds:               *seeds,
+		Quick:               *quick,
+		SimWorkersPerWorker: *simW,
+		LeaseTTL:            *leaseTTL,
+		Poll:                *poll,
+		Revision:            rev,
+		KillAfterRecords:    *killAfter,
+	}
+	if !*quiet {
+		var lastPrint time.Time
+		co.OnEvent = func(ev campaignd.Event) {
+			if ev.Type == "progress" && ev.Done != ev.Total && time.Since(lastPrint) < time.Second {
+				return
+			}
+			lastPrint = time.Now()
+			fmt.Fprintln(os.Stderr, campaignd.FormatEvent(ev))
+		}
+	}
+	start := time.Now()
+	path, err := co.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: completed across %d workers in %s -> %s\n",
+		spec.Name, *workers, time.Since(start).Round(time.Millisecond), path)
+	return nil
+}
+
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("campaignd serve", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8377", "listen address")
+		resDir   = fs.String("results", "", "shared results pool directory (required)")
+		workers  = fs.Int("workers", 2, "default worker processes per campaign (overridable per submission)")
+		leaseTTL = fs.Duration("lease-ttl", 0, "shard-claim lease expiry (0 = 60s)")
+		poll     = fs.Duration("poll", 0, "claim poll interval (0 = 50ms)")
+		revision = fs.String("revision", "", "source revision to stamp into results (default: git rev-parse)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *resDir == "" {
+		return fmt.Errorf("serve: missing -results directory")
+	}
+	rev := *revision
+	if rev == "" {
+		rev = gitRevision()
+	}
+	s := &campaignd.Server{
+		ResultsRoot:    *resDir,
+		DefaultWorkers: *workers,
+		LeaseTTL:       *leaseTTL,
+		Poll:           *poll,
+		Revision:       rev,
+	}
+	fmt.Fprintf(os.Stderr, "campaignd: serving on %s (results pool %s, %d workers/campaign)\n", *addr, *resDir, *workers)
+	return http.ListenAndServe(*addr, s.Handler())
+}
+
+func submitCmd(args []string) error {
+	fs := flag.NewFlagSet("campaignd submit", flag.ContinueOnError)
+	var (
+		server    = fs.String("server", "http://localhost:8377", "campaignd server URL")
+		campaignF = fs.String("campaign", "", "campaign spec: a JSON file or an embedded spec name")
+		workers   = fs.Int("workers", 0, "worker processes (0 = server default)")
+		scale     = fs.String("scale", "", "system scale override")
+		seeds     = fs.Int("seeds", 0, "replications per point override")
+		quick     = fs.Bool("quick", false, "trim sweeps for a fast smoke run")
+		quiet     = fs.Bool("quiet", false, "suppress per-event progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *campaignF == "" {
+		return fmt.Errorf("submit: missing -campaign")
+	}
+	q := url.Values{}
+	if *workers > 0 {
+		q.Set("workers", fmt.Sprint(*workers))
+	}
+	if *scale != "" {
+		q.Set("scale", *scale)
+	}
+	if *seeds > 0 {
+		q.Set("seeds", fmt.Sprint(*seeds))
+	}
+	if *quick {
+		q.Set("quick", "1")
+	}
+	// A name that is not an existing file submits the embedded spec by name;
+	// a file submits its JSON body.
+	var body []byte
+	builtin := ""
+	if _, err := os.Stat(*campaignF); err == nil {
+		if body, err = os.ReadFile(*campaignF); err != nil {
+			return err
+		}
+	} else {
+		builtin = *campaignF
+	}
+	id, err := campaignd.Submit(*server, body, builtin, q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "submitted %s\n", id)
+	var lastPrint time.Time
+	onEvent := func(ev campaignd.Event) {
+		if *quiet {
+			return
+		}
+		if ev.Type == "progress" && ev.Done != ev.Total && time.Since(lastPrint) < time.Second {
+			return
+		}
+		lastPrint = time.Now()
+		fmt.Fprintln(os.Stderr, campaignd.FormatEvent(ev))
+	}
+	export, err := campaignd.Follow(*server, id, onEvent)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s done -> %s\n", id, export)
+	return nil
+}
+
+func workCmd(args []string) error {
+	fs := flag.NewFlagSet("campaignd work", flag.ContinueOnError)
+	var (
+		specPath = fs.String("spec", "", "campaign spec JSON file (required)")
+		resDir   = fs.String("results", "", "shared results directory (required)")
+		owner    = fs.String("owner", "", "worker name for leases and events")
+		scale    = fs.String("scale", "", "system scale override")
+		seeds    = fs.Int("seeds", 0, "replications per point override")
+		quick    = fs.Bool("quick", false, "trim sweeps for a fast smoke run")
+		simW     = fs.Int("sim-workers", 0, "simulation concurrency (0 = GOMAXPROCS)")
+		leaseTTL = fs.Duration("lease-ttl", 0, "shard-claim lease expiry (0 = 60s)")
+		poll     = fs.Duration("poll", 0, "claim poll interval (0 = 50ms)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" || *resDir == "" {
+		return fmt.Errorf("work: need -spec and -results")
+	}
+	return campaignd.RunWorker(campaignd.WorkerConfig{
+		SpecPath:   *specPath,
+		ResultsDir: *resDir,
+		Owner:      *owner,
+		Scale:      *scale,
+		Seeds:      *seeds,
+		Quick:      *quick,
+		SimWorkers: *simW,
+		LeaseTTL:   *leaseTTL,
+		Poll:       *poll,
+		Events:     os.Stdout,
+	})
+}

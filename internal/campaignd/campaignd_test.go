@@ -1,0 +1,304 @@
+package campaignd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flexvc/internal/campaign"
+	"flexvc/internal/results"
+	"flexvc/internal/sweep"
+)
+
+func strp(s string) *string { return &s }
+
+// testCampaign is the reference job of this package's end-to-end tests: a
+// tiny two-variant, three-load, two-seed campaign (12 replications) that a
+// single process finishes in a couple of seconds.
+func testCampaign() *campaign.Campaign {
+	return &campaign.Campaign{
+		Name:  "shard-test",
+		Title: "shard-claim test campaign",
+		Scale: "tiny",
+		Seeds: 2,
+		Loads: []float64{0.2, 0.6, 1.0},
+		Sections: []campaign.SectionSpec{{
+			Title: "tiny UN/MIN panel",
+			Base:  &campaign.Settings{Traffic: strp("un"), Routing: strp("min")},
+			Variants: []campaign.VariantSpec{
+				{Label: "Baseline 2/1", Set: campaign.Settings{Policy: strp("baseline"), VCs: strp("2/1"), Select: strp("jsq")}},
+				{Label: "FlexVC 4/2", Set: campaign.Settings{Policy: strp("flexvc"), VCs: strp("4/2"), Select: strp("jsq")}},
+			},
+		}},
+	}
+}
+
+const testCampaignReplications = 2 * 3 * 2
+
+// singleProcessExport runs the test campaign the way `figures run -campaign`
+// does — one process, checkpointed, then exported — and returns the export
+// bytes: the byte-identity reference for every sharded run.
+func singleProcessExport(t *testing.T) []byte {
+	t.Helper()
+	spec := testCampaign()
+	store, err := results.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.Run(spec, sweep.Options{Results: store}); err != nil {
+		t.Fatal(err)
+	}
+	path, err := store.WriteExport(spec.Name, spec.ReportTitle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestCampaigndWorkerHelperProcess is not a test: it is the worker-process
+// body the coordinator tests spawn (the same pattern as the sweep package's
+// SIGKILL helper). It runs RunWorker against the env-named spec/directory,
+// streaming events to stdout.
+func TestCampaigndWorkerHelperProcess(t *testing.T) {
+	dir := os.Getenv("FLEXVC_CAMPAIGND_DIR")
+	if dir == "" {
+		t.Skip("helper process for the campaignd coordinator tests")
+	}
+	ttl, _ := time.ParseDuration(os.Getenv("FLEXVC_CAMPAIGND_TTL"))
+	err := RunWorker(WorkerConfig{
+		SpecPath:   os.Getenv("FLEXVC_CAMPAIGND_SPEC"),
+		ResultsDir: dir,
+		Owner:      os.Getenv("FLEXVC_CAMPAIGND_OWNER"),
+		LeaseTTL:   ttl,
+		Poll:       5 * time.Millisecond,
+		Events:     os.Stdout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// helperWorkerCommand builds worker commands that re-exec this test binary's
+// helper process instead of a campaignd binary.
+func helperWorkerCommand(dir string, ttl time.Duration) func(i int, specPath string) (*exec.Cmd, error) {
+	return func(i int, specPath string) (*exec.Cmd, error) {
+		cmd := exec.Command(os.Args[0], "-test.run", "^TestCampaigndWorkerHelperProcess$")
+		cmd.Env = append(os.Environ(),
+			"FLEXVC_CAMPAIGND_DIR="+dir,
+			"FLEXVC_CAMPAIGND_SPEC="+specPath,
+			"FLEXVC_CAMPAIGND_OWNER="+fmt.Sprintf("w%d", i),
+			"FLEXVC_CAMPAIGND_TTL="+ttl.String(),
+		)
+		return cmd, nil
+	}
+}
+
+func countRecordFiles(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dir, "records"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestShardedRunExactlyOnceAndByteIdentical is the multi-process acceptance
+// test: two worker processes run the same campaign concurrently against one
+// results directory. Every key must be simulated by exactly one of them
+// (summed fresh replications across workers equal the campaign size), the
+// directory must hold exactly one record per key, and the export must be
+// byte-identical to a single-process run's.
+func TestShardedRunExactlyOnceAndByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	ref := singleProcessExport(t)
+
+	dir := t.TempDir()
+	var mu sync.Mutex
+	fresh := map[string]int{} // worker -> replications it simulated itself
+	co := &Coordinator{
+		Spec:          testCampaign(),
+		ResultsDir:    dir,
+		Workers:       2,
+		WorkerCommand: helperWorkerCommand(dir, time.Minute),
+		OnEvent: func(ev Event) {
+			if ev.Type == "progress" && ev.Worker != "final" {
+				mu.Lock()
+				fresh[ev.Worker] = ev.Done - ev.Skipped
+				mu.Unlock()
+			}
+		},
+	}
+	path, err := co.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatal("sharded export is not byte-identical to the single-process run")
+	}
+	if n := countRecordFiles(t, dir); n != testCampaignReplications {
+		t.Errorf("results dir holds %d record files, want %d (no duplicates, no losses)", n, testCampaignReplications)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for w, n := range fresh {
+		t.Logf("worker %s simulated %d replications", w, n)
+		total += n
+	}
+	if total != testCampaignReplications {
+		t.Errorf("workers simulated %d replications in total, want exactly %d (exactly-once)", total, testCampaignReplications)
+	}
+	if len(fresh) != 2 {
+		t.Errorf("saw progress from %d workers, want 2", len(fresh))
+	}
+}
+
+// TestShardedRunSurvivesSIGKILLedWorker extends the SIGKILL-resume harness
+// to campaignd: of two workers, one is SIGKILLed mid-run; the survivor takes
+// over its expired leases and the campaign must complete with no duplicated
+// or lost records and a byte-identical export.
+func TestShardedRunSurvivesSIGKILLedWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	ref := singleProcessExport(t)
+
+	dir := t.TempDir()
+	ttl := 300 * time.Millisecond
+	killSeen := false
+	co := &Coordinator{
+		Spec:             testCampaign(),
+		ResultsDir:       dir,
+		Workers:          2,
+		LeaseTTL:         ttl,
+		KillAfterRecords: 2,
+		WorkerCommand:    helperWorkerCommand(dir, ttl),
+		OnEvent: func(ev Event) {
+			if ev.Type == "error" && strings.Contains(ev.Error, "chaos hook") {
+				killSeen = true
+			}
+		},
+	}
+	path, err := co.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if killSeen {
+		t.Log("worker 0 SIGKILLed mid-run (chaos hook fired)")
+	} else {
+		t.Log("campaign finished before the kill landed; resume path not exercised this run")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatal("post-SIGKILL export is not byte-identical to the single-process run")
+	}
+	if n := countRecordFiles(t, dir); n != testCampaignReplications {
+		t.Errorf("results dir holds %d record files, want %d", n, testCampaignReplications)
+	}
+}
+
+// TestServerSubmitFollowExport drives the HTTP layer end to end: submit the
+// test campaign to a Server (workers backed by the helper process), follow
+// its NDJSON event stream to completion, and verify the export.
+func TestServerSubmitFollowExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	ref := singleProcessExport(t)
+
+	dir := t.TempDir()
+	s := &Server{
+		ResultsRoot:    dir,
+		DefaultWorkers: 2,
+		WorkerCommand:  helperWorkerCommand(dir, time.Minute),
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	specJSON, err := json.Marshal(testCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := Submit(srv.URL, specJSON, "", url.Values{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "shard-test-1"; id != want {
+		t.Errorf("submission id %q, want %q", id, want)
+	}
+	var events []Event
+	export, err := Follow(srv.URL, id, func(ev Event) { events = append(events, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(export)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatal("served export is not byte-identical to the single-process run")
+	}
+	sawProgress := false
+	for _, ev := range events {
+		if ev.Type == "progress" {
+			sawProgress = true
+			break
+		}
+	}
+	if !sawProgress {
+		t.Error("event stream carried no progress events")
+	}
+
+	// Status endpoint agrees.
+	var st jobStatus
+	resp, err := srv.Client().Get(srv.URL + "/api/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || st.Export != export {
+		t.Errorf("status %+v, want done with export %s", st, export)
+	}
+
+	// Unknown ids and invalid specs fail loudly.
+	if resp, err := srv.Client().Get(srv.URL + "/api/campaigns/nope"); err == nil {
+		if resp.StatusCode != 404 {
+			t.Errorf("unknown id returned %d, want 404", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if _, err := Submit(srv.URL, []byte(`{"name":"BAD NAME"}`), "", nil); err == nil {
+		t.Error("invalid spec was accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package campaignd
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Submit posts a campaign to a running campaignd server and returns the
+// submission id. spec is the raw campaign JSON; builtinName, when non-empty,
+// submits an embedded spec instead (spec must then be nil). The query values
+// carry the run parameters (workers, scale, seeds, quick).
+func Submit(server string, spec []byte, builtinName string, q url.Values) (string, error) {
+	if q == nil {
+		q = url.Values{}
+	}
+	if builtinName != "" {
+		q.Set("spec", builtinName)
+	}
+	u := strings.TrimRight(server, "/") + "/api/campaigns?" + q.Encode()
+	resp, err := http.Post(u, "application/json", strings.NewReader(string(spec)))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("campaignd: submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil || st.ID == "" {
+		return "", fmt.Errorf("campaignd: submit: unparseable response %q", strings.TrimSpace(string(body)))
+	}
+	return st.ID, nil
+}
+
+// Follow streams a submission's NDJSON events to onEvent until the terminal
+// event. It returns the export path on success and an error when the
+// campaign failed (carrying the server-reported message).
+func Follow(server, id string, onEvent func(Event)) (string, error) {
+	u := strings.TrimRight(server, "/") + "/api/campaigns/" + url.PathEscape(id) + "/events"
+	resp, err := http.Get(u)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return "", fmt.Errorf("campaignd: events: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var last Event
+	for sc.Scan() {
+		var ev Event
+		if json.Unmarshal(sc.Bytes(), &ev) != nil {
+			continue
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		last = ev
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	switch {
+	case last.Type == "done":
+		return last.Export, nil
+	case last.Type == "error":
+		return "", fmt.Errorf("campaignd: campaign failed: %s", last.Error)
+	}
+	return "", fmt.Errorf("campaignd: event stream ended without a terminal event")
+}

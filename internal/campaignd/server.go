@@ -1,0 +1,297 @@
+package campaignd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"flexvc/internal/campaign"
+)
+
+// Server is the HTTP front end of the campaign service: POST a campaign spec
+// and the server runs it through a Coordinator against the shared results
+// root, while any number of clients follow the run's progress as an NDJSON
+// event stream. Submissions against the same results root share the
+// checkpoint pool, so two users submitting overlapping campaigns dedupe each
+// other's work through the same lease protocol the workers use.
+//
+// API:
+//
+//	POST /api/campaigns            body: campaign spec JSON (or empty with
+//	                               ?spec=<embedded name>); query: workers,
+//	                               scale, seeds, quick → {"id": ...}
+//	GET  /api/campaigns            list of campaign statuses
+//	GET  /api/campaigns/{id}       one campaign's status
+//	GET  /api/campaigns/{id}/events  NDJSON event stream: full history, then
+//	                               live events until the terminal done/error
+type Server struct {
+	// ResultsRoot is the shared results directory every campaign runs
+	// against (the dedup'd checkpoint pool).
+	ResultsRoot string
+	// DefaultWorkers is the worker-process count when a submission does not
+	// pass ?workers= (minimum 1).
+	DefaultWorkers int
+	// LeaseTTL, Poll, Revision and WorkerCommand are forwarded to each
+	// campaign's Coordinator.
+	LeaseTTL      time.Duration
+	Poll          time.Duration
+	Revision      string
+	WorkerCommand func(i int, specPath string) (*exec.Cmd, error)
+
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*jobState
+}
+
+// jobStatus is the JSON shape of a campaign's status.
+type jobStatus struct {
+	ID       string `json:"id"`
+	Campaign string `json:"campaign"`
+	Workers  int    `json:"workers"`
+	State    string `json:"state"` // "running", "done", "failed"
+	Export   string `json:"export,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// Done/Total mirror the latest progress event.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// jobState is one submitted campaign: its coordinator run plus the event
+// history and live subscribers.
+type jobState struct {
+	mu     sync.Mutex
+	status jobStatus
+	events []Event
+	subs   map[chan Event]bool
+	done   chan struct{}
+}
+
+func (j *jobState) publish(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, ev)
+	if ev.Type == "progress" && ev.Total > 0 {
+		j.status.Done, j.status.Total = ev.Done, ev.Total
+	}
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default: // a stalled subscriber must not block the run
+		}
+	}
+}
+
+// finish records the terminal state and closes every subscriber stream.
+func (j *jobState) finish(export string, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.status.State, j.status.Error = "failed", err.Error()
+	} else {
+		j.status.State, j.status.Export = "done", export
+	}
+	close(j.done)
+}
+
+func (j *jobState) snapshot() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/campaigns", s.handleCampaigns)
+	mux.HandleFunc("/api/campaigns/", s.handleCampaign)
+	return mux
+}
+
+func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		list := make([]jobStatus, 0, len(s.jobs))
+		for _, j := range s.jobs {
+			list = append(list, j.snapshot())
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, list)
+	case http.MethodPost:
+		s.submit(w, r)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var spec *campaign.Campaign
+	var err error
+	if name := q.Get("spec"); name != "" {
+		spec, err = campaign.Builtin(name)
+	} else {
+		var body []byte
+		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
+		if err == nil {
+			if len(body) == 0 {
+				err = fmt.Errorf("empty body (POST the campaign spec JSON, or use ?spec=<embedded name>)")
+			} else {
+				spec, err = campaign.Parse(body)
+			}
+		}
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	workers := s.DefaultWorkers
+	if v := q.Get("workers"); v != "" {
+		if workers, err = strconv.Atoi(v); err != nil || workers < 1 || workers > 64 {
+			http.Error(w, "workers must be an integer in [1,64]", http.StatusBadRequest)
+			return
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	seeds := 0
+	if v := q.Get("seeds"); v != "" {
+		if seeds, err = strconv.Atoi(v); err != nil || seeds < 0 {
+			http.Error(w, "seeds must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+	}
+	co := &Coordinator{
+		Spec:          spec,
+		ResultsDir:    s.ResultsRoot,
+		Workers:       workers,
+		Scale:         q.Get("scale"),
+		Seeds:         seeds,
+		Quick:         q.Get("quick") != "" && q.Get("quick") != "0",
+		LeaseTTL:      s.LeaseTTL,
+		Poll:          s.Poll,
+		Revision:      s.Revision,
+		WorkerCommand: s.WorkerCommand,
+	}
+
+	s.mu.Lock()
+	if s.jobs == nil {
+		s.jobs = make(map[string]*jobState)
+	}
+	s.seq++
+	id := fmt.Sprintf("%s-%d", spec.Name, s.seq)
+	job := &jobState{
+		status: jobStatus{ID: id, Campaign: spec.Name, Workers: workers, State: "running"},
+		subs:   make(map[chan Event]bool),
+		done:   make(chan struct{}),
+	}
+	s.jobs[id] = job
+	s.mu.Unlock()
+
+	co.OnEvent = job.publish
+	go func() {
+		export, err := co.Run()
+		job.finish(export, err)
+	}()
+	writeJSON(w, http.StatusAccepted, job.snapshot())
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/api/campaigns/")
+	id, sub, _ := strings.Cut(rest, "/")
+	s.mu.Lock()
+	job := s.jobs[id]
+	s.mu.Unlock()
+	if job == nil {
+		http.Error(w, fmt.Sprintf("no campaign %q", id), http.StatusNotFound)
+		return
+	}
+	switch sub {
+	case "":
+		writeJSON(w, http.StatusOK, job.snapshot())
+	case "events":
+		s.streamEvents(w, r, job)
+	default:
+		http.Error(w, "unknown resource", http.StatusNotFound)
+	}
+}
+
+// streamEvents replays the job's event history and then follows live events
+// as NDJSON until the job finishes or the client goes away.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, job *jobState) {
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	enc := json.NewEncoder(w)
+
+	ch := make(chan Event, 256)
+	job.mu.Lock()
+	history := append([]Event(nil), job.events...)
+	job.subs[ch] = true
+	job.mu.Unlock()
+	defer func() {
+		job.mu.Lock()
+		delete(job.subs, ch)
+		job.mu.Unlock()
+	}()
+
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	for _, ev := range history {
+		if enc.Encode(ev) != nil {
+			return
+		}
+	}
+	flush()
+	for {
+		select {
+		case ev := <-ch:
+			if enc.Encode(ev) != nil {
+				return
+			}
+			flush()
+		case <-job.done:
+			// Drain anything published before the close, then emit a
+			// terminal status line so clients need no separate poll.
+			for {
+				select {
+				case ev := <-ch:
+					if enc.Encode(ev) != nil {
+						return
+					}
+				default:
+					st := job.snapshot()
+					ev := Event{Type: "done", Campaign: st.Campaign, Export: st.Export}
+					if st.State == "failed" {
+						ev = Event{Type: "error", Campaign: st.Campaign, Error: st.Error}
+					}
+					_ = enc.Encode(ev)
+					flush()
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

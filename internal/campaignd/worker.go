@@ -1,0 +1,91 @@
+package campaignd
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"flexvc/internal/campaign"
+	"flexvc/internal/results"
+	"flexvc/internal/sim"
+	"flexvc/internal/sweep"
+)
+
+// WorkerConfig parameterizes one worker process of a sharded campaign run.
+type WorkerConfig struct {
+	// SpecPath is the campaign spec JSON to execute (the coordinator writes
+	// the submitted spec under <results>/jobs/ and points every worker at
+	// the same file, so all workers compile the identical job).
+	SpecPath string
+	// ResultsDir is the shared results directory the workers shard over.
+	ResultsDir string
+	// Owner tags this worker's leases and progress events ("w0", "w1", …).
+	Owner string
+	// Scale, Seeds, Quick and Loads override the spec's defaults exactly as
+	// the figures CLI flags do; they must be identical across the workers of
+	// one run (the coordinator guarantees this).
+	Scale string
+	Seeds int
+	Quick bool
+	// SimWorkers bounds this process's simulation concurrency
+	// (sim.SetWorkerBudget); 0 keeps the GOMAXPROCS default. Coordinators
+	// divide the machine between worker processes through it.
+	SimWorkers int
+	// LeaseTTL and Poll tune the shard-claim protocol (zero: defaults).
+	LeaseTTL time.Duration
+	Poll     time.Duration
+	// Events receives the worker's NDJSON event stream (nil: no events).
+	Events io.Writer
+}
+
+// RunWorker executes one worker of a sharded campaign run: it compiles the
+// spec, opens the shared store and runs the campaign in claim mode, so this
+// process simulates exactly the replications it wins leases for, restores
+// everything its peers record, and finishes only when every replication of
+// the campaign is on disk. Progress is streamed as NDJSON events; the report
+// the run produces is discarded (rendering happens from the export, which
+// the coordinator writes once the campaign is complete).
+func RunWorker(wc WorkerConfig) error {
+	spec, err := campaign.Load(wc.SpecPath)
+	if err != nil {
+		return err
+	}
+	store, err := results.Open(wc.ResultsDir)
+	if err != nil {
+		return err
+	}
+	if wc.SimWorkers > 0 {
+		sim.SetWorkerBudget(wc.SimWorkers)
+	}
+	var ew *eventWriter
+	if wc.Events != nil {
+		ew = newEventWriter(wc.Events)
+	}
+	opts := sweep.Options{
+		Scale:   wc.Scale,
+		Seeds:   wc.Seeds,
+		Quick:   wc.Quick,
+		Results: store,
+		Claims: &sweep.ClaimConfig{
+			Owner: wc.Owner,
+			TTL:   wc.LeaseTTL,
+			Poll:  wc.Poll,
+		},
+	}
+	if ew != nil {
+		opts.Progress = func(p sweep.Progress) { ew.emit(progressEvent(wc.Owner, p)) }
+	}
+	if _, err := campaign.Run(spec, opts); err != nil {
+		if ew != nil {
+			ew.emit(Event{Type: "error", Campaign: spec.Name, Worker: wc.Owner, Error: err.Error()})
+		}
+		return fmt.Errorf("campaignd worker %s: %w", wc.Owner, err)
+	}
+	if err := store.Flush(); err != nil {
+		return err
+	}
+	if ew != nil {
+		ew.emit(Event{Type: "done", Campaign: spec.Name, Worker: wc.Owner})
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// This file is the shard-claim protocol that turns a results directory into
+// a unit of distributed work: several worker processes sharing one directory
+// divide a sweep's replications among themselves by claiming per-key leases,
+// with no coordinator and no state beyond the filesystem.
+//
+// A claim is a lease file under leases/, named exactly like the record file
+// it shadows. The protocol relies only on two POSIX guarantees:
+//
+//   - O_CREATE|O_EXCL is atomic: exactly one contender creates the file.
+//   - rename(2) is atomic and destroys its source: exactly one contender
+//     wins a takeover of an expired lease (the losers' renames fail with
+//     ENOENT and they re-enter the claim loop).
+//
+// Liveness comes from mtime: a holder refreshes the lease's mtime on a
+// heartbeat while it simulates, so a lease whose mtime is older than the TTL
+// belongs to a dead process and may be taken over. Exactly-once *recording*
+// does not depend on the lease at all — records are written atomically under
+// a key-derived name, so even a double simulation (possible only if a worker
+// stalls past the TTL without dying) overwrites byte-identical data.
+type Lease struct {
+	path string
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+const leasesSubdir = "leases"
+
+// DefaultLeaseTTL is the claim expiry used when callers pass no TTL. It must
+// comfortably exceed one heartbeat interval (TTL/4) under load; replication
+// wall time is irrelevant because the holder heartbeats while simulating.
+const DefaultLeaseTTL = 60 * time.Second
+
+// leaseInfo is the lease file's contents — diagnostics for humans inspecting
+// a shared directory. The protocol itself depends only on the file's
+// existence and mtime, never on what is inside it.
+type leaseInfo struct {
+	Owner string `json:"owner"`
+	PID   int    `json:"pid"`
+}
+
+// leaseFileName mirrors recordFileName so a lease and the record it shadows
+// are adjacent in directory listings.
+func leaseFileName(k Key) string {
+	slug := sanitize(k.Experiment)
+	if slug == "" {
+		slug = "exp"
+	}
+	return fmt.Sprintf("%s-%s.lease", slug, keyHash(k))
+}
+
+// TryClaim attempts to take the exclusive lease on key. It returns a live
+// Lease on success, (nil, nil) when another worker holds an unexpired claim,
+// and an error only for filesystem failures. A lease whose mtime is older
+// than ttl is treated as abandoned and taken over. The returned lease
+// refreshes its own mtime every ttl/4 until Release, so a claim stays valid
+// for as long as the simulation behind it actually runs.
+func (s *Store) TryClaim(key Key, owner string, ttl time.Duration) (*Lease, error) {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	dir := filepath.Join(s.dir, leasesSubdir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, leaseFileName(key))
+	for {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			b, merr := json.Marshal(leaseInfo{Owner: owner, PID: os.Getpid()})
+			if merr == nil {
+				_, _ = f.Write(append(b, '\n'))
+			}
+			f.Close()
+			l := &Lease{path: path, stop: make(chan struct{})}
+			l.heartbeat(ttl)
+			return l, nil
+		}
+		if !os.IsExist(err) {
+			return nil, err
+		}
+		st, serr := os.Stat(path)
+		if serr != nil {
+			if os.IsNotExist(serr) {
+				// Released between the failed create and the stat; retry.
+				continue
+			}
+			return nil, serr
+		}
+		if time.Since(st.ModTime()) < ttl {
+			return nil, nil
+		}
+		// Expired: take it over. Renaming to a unique tombstone first makes
+		// the takeover race-free — rename is atomic and consumes its source,
+		// so of N contenders exactly one wins and the rest fall back into the
+		// claim loop (where they will see either our fresh lease or a free
+		// slot).
+		tomb := path + fmt.Sprintf(".expired-%d-%d", os.Getpid(), tmpSeq.Add(1))
+		if rerr := os.Rename(path, tomb); rerr != nil {
+			if os.IsNotExist(rerr) {
+				continue
+			}
+			return nil, rerr
+		}
+		_ = os.Remove(tomb)
+	}
+}
+
+// heartbeat refreshes the lease mtime every ttl/4 until Release so live
+// claims never expire under long simulations.
+func (l *Lease) heartbeat(ttl time.Duration) {
+	interval := ttl / 4
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-l.stop:
+				return
+			case <-t.C:
+				now := time.Now()
+				_ = os.Chtimes(l.path, now, now)
+			}
+		}
+	}()
+}
+
+// Release stops the heartbeat and removes the lease file, freeing the key
+// for other claimers. Releasing after the corresponding record was Put is
+// the normal completion path; releasing without a record (an error mid-
+// simulation) simply returns the key to the pool.
+func (l *Lease) Release() {
+	close(l.stop)
+	l.wg.Wait()
+	_ = os.Remove(l.path)
+}
+
+// Path returns the lease file's location (for tests and diagnostics).
+func (l *Lease) Path() string { return l.path }

@@ -1,0 +1,223 @@
+package results
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testKey(seed int) Key {
+	return Key{Experiment: "lease-test", Section: "(a)", Variant: "FlexVC 4/2", Load: 0.5, Seed: seed}
+}
+
+// TestLeaseExclusive requires that of many concurrent claimers exactly one
+// wins, and that releasing frees the key for the next claimer.
+func TestLeaseExclusive(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(0)
+
+	const claimers = 16
+	var mu sync.Mutex
+	var won []*Lease
+	var wg sync.WaitGroup
+	for i := 0; i < claimers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l, err := store.TryClaim(key, "w", time.Minute)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if l != nil {
+				mu.Lock()
+				won = append(won, l)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(won) != 1 {
+		t.Fatalf("%d claimers won the lease, want exactly 1", len(won))
+	}
+
+	// Held: further claims fail without error.
+	if l, err := store.TryClaim(key, "w2", time.Minute); err != nil || l != nil {
+		t.Fatalf("claim on a held lease: lease=%v err=%v, want nil,nil", l, err)
+	}
+	// A different key is independent.
+	if l, err := store.TryClaim(testKey(1), "w2", time.Minute); err != nil || l == nil {
+		t.Fatalf("claim on a free key: lease=%v err=%v, want success", l, err)
+	}
+
+	won[0].Release()
+	l, err := store.TryClaim(key, "w3", time.Minute)
+	if err != nil || l == nil {
+		t.Fatalf("claim after release: lease=%v err=%v, want success", l, err)
+	}
+	l.Release()
+}
+
+// TestLeaseStaleTakeover backdates a lease past its TTL and requires the
+// next claimer to take it over — the path that lets a surviving worker
+// finish the keys of a SIGKILLed peer.
+func TestLeaseStaleTakeover(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(0)
+	ttl := time.Minute
+	l, err := store.TryClaim(key, "dead", ttl)
+	if err != nil || l == nil {
+		t.Fatalf("initial claim: %v %v", l, err)
+	}
+	// Simulate the holder's death: stop the heartbeat without removing the
+	// file, then backdate the mtime past the TTL.
+	close(l.stop)
+	l.wg.Wait()
+	old := time.Now().Add(-2 * ttl)
+	if err := os.Chtimes(l.Path(), old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := store.TryClaim(key, "heir", ttl)
+	if err != nil || l2 == nil {
+		t.Fatalf("takeover of an expired lease: lease=%v err=%v, want success", l2, err)
+	}
+	// No tombstones may linger after a takeover.
+	matches, _ := filepath.Glob(filepath.Join(store.Dir(), leasesSubdir, "*.expired-*"))
+	if len(matches) != 0 {
+		t.Errorf("takeover left tombstones behind: %v", matches)
+	}
+	l2.Release()
+}
+
+// TestLeaseHeartbeatKeepsClaimAlive holds a lease with a tiny TTL for many
+// TTLs' worth of wall clock and requires rivals to keep losing: the
+// heartbeat must refresh the mtime while the holder works.
+func TestLeaseHeartbeatKeepsClaimAlive(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(0)
+	ttl := 40 * time.Millisecond
+	l, err := store.TryClaim(key, "slow", ttl)
+	if err != nil || l == nil {
+		t.Fatalf("initial claim: %v %v", l, err)
+	}
+	defer l.Release()
+	deadline := time.Now().Add(8 * ttl)
+	for time.Now().Before(deadline) {
+		rival, err := store.TryClaim(key, "rival", ttl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rival != nil {
+			t.Fatal("rival stole a heartbeating lease")
+		}
+		time.Sleep(ttl / 4)
+	}
+}
+
+// TestRefreshKeySeesForeignRecords writes a record through one store handle
+// and requires a second, already-open handle on the same directory to pick
+// it up via RefreshKey — the cross-process record visibility workers rely
+// on (two handles in one process exercise the same disk path).
+func TestRefreshKeySeesForeignRecords(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := mkRecord("(a) UN", 0, 0, 0, 0, 0.5)
+
+	// Not on disk yet: RefreshKey must miss without inventing records.
+	if _, ok := b.RefreshKey(rec.Key(), rec.Fingerprint); ok {
+		t.Fatal("RefreshKey hit before any record was written")
+	}
+	if err := a.Put(rec, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Plain Get on the second handle misses (index built at Open)...
+	if _, ok := b.Get(rec.Key(), rec.Fingerprint); ok {
+		t.Fatal("Get unexpectedly saw a record written after Open")
+	}
+	// ...but RefreshKey re-reads the directory and finds it.
+	got, ok := b.RefreshKey(rec.Key(), rec.Fingerprint)
+	if !ok {
+		t.Fatal("RefreshKey missed a record present on disk")
+	}
+	if got.Key() != rec.Key() {
+		t.Fatalf("RefreshKey returned key %+v, want %+v", got.Key(), rec.Key())
+	}
+	// Fingerprint mismatches stay misses (stale config).
+	if _, ok := b.RefreshKey(rec.Key(), "deadbeef"); ok {
+		t.Fatal("RefreshKey hit despite a fingerprint mismatch")
+	}
+}
+
+// TestPutRecordWorldReadable asserts the satellite bugfix: records land with
+// umask-respecting 0644 permissions, so checkpoints written by one user's
+// worker are readable by every process sharing the results directory. (The
+// old os.CreateTemp path hard-coded 0600.)
+func TestPutRecordWorldReadable(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := mkRecord("(a) UN", 0, 0, 0, 0, 0.5)
+	if err := store.Put(rec, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The process umask also applies to a plain 0644 create; compare against
+	// that reference so the test is exact under any umask.
+	refPath := filepath.Join(dir, "umask-ref")
+	ref, err := os.OpenFile(refPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Close()
+	refInfo, err := os.Stat(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refInfo.Mode().Perm()
+
+	recPath := filepath.Join(dir, recordsSubdir, recordFileName(rec.Key()))
+	info, err := os.Stat(recPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Mode().Perm(); got != want {
+		t.Errorf("record mode %v, want %v", got, want)
+	}
+	if want&0o044 == 0 {
+		t.Skipf("umask strips group/other read bits (mode %v); cannot assert shared readability", want)
+	}
+	if info.Mode().Perm()&0o044 == 0 {
+		t.Errorf("record mode %v not group/other readable", info.Mode().Perm())
+	}
+	// Manifest and exports follow the same path and must match too.
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	manInfo, err := os.Stat(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := manInfo.Mode().Perm(); got != want {
+		t.Errorf("manifest mode %v, want %v", got, want)
+	}
+}

@@ -19,10 +19,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
+	"syscall"
 
 	"flexvc/internal/config"
 	"flexvc/internal/stats"
@@ -187,11 +190,34 @@ func WriteSinglePoint(path string, cfg config.Config, scale string, agg stats.Re
 	return writeFileAtomic(path, append(b, '\n'))
 }
 
+// tmpSeq disambiguates temporary file names created by concurrent writers in
+// the same process; the pid in the name separates processes.
+var tmpSeq atomic.Uint64
+
+// createTempFile creates a uniquely-named temporary file next to path with
+// mode 0644 (before umask). os.CreateTemp is deliberately not used: it hard-
+// codes mode 0600, which would make records written by one user's worker
+// unreadable to other processes sharing the results directory.
+func createTempFile(path string) (*os.File, error) {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	for {
+		name := filepath.Join(dir, fmt.Sprintf(".tmp-%s-%d-%d", base, os.Getpid(), tmpSeq.Add(1)))
+		f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if os.IsExist(err) {
+			continue
+		}
+		return f, err
+	}
+}
+
 // writeFileAtomic writes data to path via a temporary file and rename, so a
-// crash mid-write never leaves a torn file under the final name.
+// crash mid-write never leaves a torn file under the final name. The
+// temporary file is fsynced before the rename and the directory after it:
+// rename alone orders nothing on most filesystems, so without the syncs a
+// power loss shortly after could surface a zero-length or torn file under
+// the *final* name — exactly the durability Put promises callers.
 func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-")
+	tmp, err := createTempFile(path)
 	if err != nil {
 		return err
 	}
@@ -200,10 +226,32 @@ func writeFileAtomic(path string, data []byte) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Filesystems that reject directory fsync (some network mounts) degrade to
+// the old rename-only behaviour instead of failing the write.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
 }
 
 // sanitize maps an arbitrary label to a filesystem-safe slug.

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"flexvc/internal/config"
+)
+
+// TestSetWorkerBudgetDuringRun resizes the worker budget while simulations
+// are in flight. Before the budget moved behind an atomic pointer this was a
+// data race (a serving daemon reconfiguring workers against running sweeps);
+// the test fails under -race on the old implementation and also checks that
+// every release pairs with its own pool (no token is lost or duplicated, so
+// later acquisitions cannot deadlock).
+func TestSetWorkerBudgetDuringRun(t *testing.T) {
+	old := WorkerBudget()
+	defer SetWorkerBudget(old)
+
+	cfg := config.Tiny()
+	cfg.Load = 0.2
+	cfg.WarmupCycles = 50
+	cfg.MeasureCycles = 200
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < 3; r++ {
+				if _, _, err := RunReplication(cfg, r); err != nil {
+					t.Errorf("sim %d/%d: %v", i, r, err)
+					return
+				}
+			}
+		}(i)
+	}
+	for _, n := range []int{1, 3, 2, 4, 1, 2} {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			SetWorkerBudget(n)
+			if got := WorkerBudget(); got < 1 {
+				t.Errorf("budget %d after SetWorkerBudget(%d)", got, n)
+			}
+		}(n)
+	}
+	wg.Wait()
+
+	// The final pool must still hand out exactly its capacity of tokens.
+	SetWorkerBudget(2)
+	r1 := acquireWorker()
+	r2 := acquireWorker()
+	r1()
+	r2()
+}

@@ -82,6 +82,15 @@ type Options struct {
 	// completed work and its exported results are bit-identical to an
 	// uninterrupted run's.
 	Results *results.Store
+	// Claims, when non-nil (it requires Results), turns the checkpointed run
+	// into one worker of a multi-process sharded execution: every missing
+	// replication is first claimed through the results store's lease
+	// protocol, keys claimed by other workers are polled until their record
+	// lands (taking over the claim if its lease expires — a dead peer), and
+	// only claim winners simulate. N workers sharing one results directory
+	// therefore split the sweep's replications among themselves with
+	// per-record exactly-once semantics and no coordinator.
+	Claims *ClaimConfig
 	// Progress, when non-nil, is invoked (serially) as replications finish
 	// or are restored from the store.
 	Progress func(Progress)
@@ -107,6 +116,30 @@ type Progress struct {
 	// ETA extrapolates from the measured pace of fresh replications; it is
 	// zero until one completes.
 	ETA time.Duration
+}
+
+// ClaimConfig parameterizes shard-claim execution (Options.Claims). The
+// zero value of every field is usable: claims work with an anonymous owner,
+// the store's default lease TTL and the default poll interval.
+type ClaimConfig struct {
+	// Owner tags this worker's lease files (diagnostics only; the protocol
+	// keys on file existence and mtime, not owner identity).
+	Owner string
+	// TTL is the lease expiry: a claim whose holder has not heartbeated for
+	// this long counts as dead and is taken over. Holders heartbeat at TTL/4
+	// while simulating, so TTL bounds takeover latency, not replication
+	// length. Zero means results.DefaultLeaseTTL.
+	TTL time.Duration
+	// Poll is how often a worker re-checks a key another worker has claimed
+	// (waiting for the record, or for the lease to expire). Zero means 50ms.
+	Poll time.Duration
+}
+
+func (c *ClaimConfig) poll() time.Duration {
+	if c == nil || c.Poll <= 0 {
+		return 50 * time.Millisecond
+	}
+	return c.Poll
 }
 
 // runState is the per-Run accounting shared by every section of an
@@ -228,9 +261,11 @@ type job struct {
 }
 
 // ckpt is the checkpointing context of one section sweep: where records go,
-// how they are keyed, and who hears about progress.
+// how they are keyed, who hears about progress, and — in sharded runs — how
+// replications are claimed.
 type ckpt struct {
 	store        *results.Store // nil: progress reporting only
+	claims       *ClaimConfig   // nil: plain checkpointed run
 	experiment   string
 	section      string
 	sectionIndex int
@@ -343,31 +378,20 @@ func (ck *ckpt) runPoint(j job) (stats.Result, error) {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			r, wall, err := sim.RunReplication(j.cfg, s)
-			if err != nil {
-				errs[s] = err
-				return
-			}
-			if ck.store != nil {
-				rec := results.Record{
-					Schema:       results.SchemaVersion,
-					Experiment:   ck.experiment,
-					Section:      ck.section,
-					SectionIndex: ck.sectionIndex,
-					Variant:      j.label,
-					VariantIndex: j.series,
-					PointIndex:   j.point,
-					Scale:        ck.scale,
-					Load:         j.cfg.Load,
-					Seed:         s,
-					SimSeed:      sim.ReplicationSeed(j.cfg.Seed, s),
-					Fingerprint:  fp,
-					Result:       r,
-				}
-				if err := ck.store.Put(rec, wall); err != nil {
+			if ck.claims != nil {
+				r, restored, err := ck.claimReplication(j, key, fp, s)
+				if err != nil {
 					errs[s] = err
 					return
 				}
+				per[s] = r
+				ck.state.note(ck, restored)
+				return
+			}
+			r, err := ck.simulate(j, fp, s)
+			if err != nil {
+				errs[s] = err
+				return
 			}
 			per[s] = r
 			ck.state.note(ck, false)
@@ -382,6 +406,64 @@ func (ck *ckpt) runPoint(j job) (stats.Result, error) {
 	return stats.Aggregate(per), nil
 }
 
+// simulate runs replication s of job j and, when a store is attached,
+// checkpoints it before returning.
+func (ck *ckpt) simulate(j job, fp string, s int) (stats.Result, error) {
+	r, wall, err := sim.RunReplication(j.cfg, s)
+	if err != nil {
+		return stats.Result{}, err
+	}
+	if ck.store != nil {
+		rec := results.Record{
+			Schema:       results.SchemaVersion,
+			Experiment:   ck.experiment,
+			Section:      ck.section,
+			SectionIndex: ck.sectionIndex,
+			Variant:      j.label,
+			VariantIndex: j.series,
+			PointIndex:   j.point,
+			Scale:        ck.scale,
+			Load:         j.cfg.Load,
+			Seed:         s,
+			SimSeed:      sim.ReplicationSeed(j.cfg.Seed, s),
+			Fingerprint:  fp,
+			Result:       r,
+		}
+		if err := ck.store.Put(rec, wall); err != nil {
+			return stats.Result{}, err
+		}
+	}
+	return r, nil
+}
+
+// claimReplication resolves one missing replication under the shard-claim
+// protocol. It loops until the key is settled one way or the other: a record
+// with the right fingerprint on disk (written by any worker — restored), or
+// a lease win followed by simulate-and-checkpoint (fresh). Losing the claim
+// parks this goroutine on a poll loop — it holds no worker token, so a
+// waiting worker costs CPU nothing while its peers simulate. The lease is
+// released only after the record is durably on disk, so between any claim
+// loss and the next poll the key is either still leased or already recorded;
+// a lease that expires instead marks a dead worker and is taken over.
+func (ck *ckpt) claimReplication(j job, key results.Key, fp string, s int) (stats.Result, bool, error) {
+	for {
+		if rec, ok := ck.store.RefreshKey(key, fp); ok {
+			return rec.Result, true, nil
+		}
+		lease, err := ck.store.TryClaim(key, ck.claims.Owner, ck.claims.TTL)
+		if err != nil {
+			return stats.Result{}, false, err
+		}
+		if lease == nil {
+			time.Sleep(ck.claims.poll())
+			continue
+		}
+		r, err := ck.simulate(j, fp, s)
+		lease.Release()
+		return r, false, err
+	}
+}
+
 // runSection runs one section (panel) of the current experiment, wiring the
 // checkpoint store and progress reporting in when the options carry them.
 // Experiment runners must route every simulated sweep through this method so
@@ -394,8 +476,15 @@ func (o Options) runSection(title string, base config.Config, variants []Variant
 	if st == nil {
 		st = newRunState()
 	}
+	claims := o.Claims
+	if o.Results == nil {
+		// Claims shard work through the store's lease files; without a store
+		// there is nothing to claim against.
+		claims = nil
+	}
 	ck := &ckpt{
 		store:        o.Results,
+		claims:       claims,
 		experiment:   o.experiment,
 		section:      title,
 		sectionIndex: st.nextSection(len(variants) * len(loads) * o.seeds()),
