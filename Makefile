@@ -15,7 +15,7 @@ BENCH_GATE_PAT  := SmokeSweep|AllowedVCs|RouterStep|InputBufferCycle
 BENCH_GATE_PKGS := . ./internal/router ./internal/buffer
 BENCH_COUNT     ?= 3
 
-.PHONY: build test race lint bench-check bench-baseline ci nightly-sweep nightly-transient scenario-smoke campaign-smoke campaignd-smoke nightly-campaign
+.PHONY: build test race lint bench-check bench-baseline ci check-smoke check-full scenario-smoke campaign-smoke campaignd-smoke
 
 build:
 	$(GO) build ./...
@@ -51,26 +51,23 @@ bench-baseline:
 	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -update -tolerance 40 < bench-gate.out
 	@rm -f bench-gate.out
 
-ci: lint test race bench-check
+ci: lint test race bench-check check-smoke
 
-# The nightly sweep: a small-scale fig5 run through the checkpointed runner
-# (resumable; results land in $(RESULTS_DIR)), rendered and diffed against
-# the committed report so result drift fails loudly.
-RESULTS_DIR ?= results/nightly
-nightly-sweep:
-	$(GO) run ./cmd/figures run -exp fig5 -scale small -seeds 2 -results $(RESULTS_DIR)
-	$(GO) run ./cmd/figures render -exp fig5 -results $(RESULTS_DIR) -out $(RESULTS_DIR)/fig5.md
-	diff experiments/fig5-small/report.md $(RESULTS_DIR)/fig5.md
+# The PR-time reproducibility gate: verify every recorded experiment in
+# experiments/manifest.json. Digests of the committed exports and reports are
+# always checked; entries cheap enough to finish under -max-wall are also
+# re-simulated and byte-compared (transient-small and pb-policies-transient
+# today — fig5-small's ~50s re-run is nightly-only, see check-full).
+check-smoke:
+	$(GO) run ./cmd/figures check -max-wall 10s all
 
-# The nightly transient sweep: the small-scale UN->ADV->UN scenario through
-# the checkpointed runner, rendered (windowed telemetry + adaptation lags)
-# and diffed against the committed report so transient-behaviour drift fails
-# loudly.
-RESULTS_DIR_TRANSIENT ?= results/nightly-transient
-nightly-transient:
-	$(GO) run ./cmd/figures run -exp transient -scale small -seeds 2 -results $(RESULTS_DIR_TRANSIENT)
-	$(GO) run ./cmd/figures render -exp transient -results $(RESULTS_DIR_TRANSIENT) -out $(RESULTS_DIR_TRANSIENT)/transient.md
-	diff experiments/transient-small/report.md $(RESULTS_DIR_TRANSIENT)/transient.md
+# The full reproducibility verification (nightly): re-run every manifest
+# entry, however expensive, and byte-compare exports and rendered reports
+# against the committed artefacts. Scratch results stay under
+# $(RESULTS_DIR_CHECK) so CI can upload the diverging exports on failure.
+RESULTS_DIR_CHECK ?= results/check
+check-full:
+	$(GO) run ./cmd/figures check -work $(RESULTS_DIR_CHECK) -v all
 
 # A quick end-to-end scenario run through flexvcsim -scenario: loads the
 # checked-in scenario JSON, simulates one PB replication and prints the
@@ -104,14 +101,3 @@ campaignd-smoke:
 		-results $(RESULTS_DIR_CAMPAIGND)/sharded
 	diff $(RESULTS_DIR_CAMPAIGND)/single/smoke.results.json \
 		$(RESULTS_DIR_CAMPAIGND)/sharded/smoke.results.json
-
-# The nightly campaign sweep: re-run the recorded pb-policies-transient
-# campaign from its checked-in spec and diff the rendered report against the
-# committed golden, so campaign-engine or simulator drift fails loudly.
-RESULTS_DIR_NIGHTLY_CAMPAIGN ?= results/nightly-campaign
-nightly-campaign:
-	$(GO) run ./cmd/figures run -campaign experiments/pb-policies-transient/campaign.json \
-		-results $(RESULTS_DIR_NIGHTLY_CAMPAIGN)
-	$(GO) run ./cmd/figures render -campaign experiments/pb-policies-transient/campaign.json \
-		-results $(RESULTS_DIR_NIGHTLY_CAMPAIGN) -out $(RESULTS_DIR_NIGHTLY_CAMPAIGN)/pb-policies-transient.md
-	diff experiments/pb-policies-transient/report.md $(RESULTS_DIR_NIGHTLY_CAMPAIGN)/pb-policies-transient.md

@@ -13,6 +13,14 @@
 // loads, seeds, scale and optional scenarios. Campaign runs checkpoint,
 // resume, export and render exactly like built-in figures.
 //
+// A third mode, `check`, is the reproducibility gate: it reads the
+// experiments manifest (experiments/manifest.json), re-runs each recorded
+// experiment or campaign into a scratch results directory, and byte-compares
+// the fresh export and rendered report against the committed artefacts
+// (internal/verify). Any divergence — a corrupted recording, a simulator
+// behaviour change, a renderer change — exits non-zero with the first
+// diverging line.
+//
 // Examples:
 //
 //	figures list
@@ -22,6 +30,9 @@
 //	figures render -exp fig5 -results results/ -out fig5.md
 //	figures render -campaign pb-policies-transient -results results/
 //	figures render -exp fig5 -results results/ -format text
+//	figures check all                      # verify every recorded experiment
+//	figures check transient-small          # verify one manifest entry
+//	figures check -max-wall 10s all        # digests always; re-run only cheap entries
 //
 // The legacy one-shot mode (simulate and print, nothing recorded) is kept for
 // quick looks:
@@ -71,11 +82,16 @@ func run(args []string) error {
 			return runCmd(args[1:])
 		case "render":
 			return renderCmd(args[1:])
+		case "check":
+			return checkCmd(args[1:])
 		case "help", "-h", "-help", "--help":
-			fmt.Println("usage: figures {list | run | render} [flags]   (or legacy: figures -exp ... )")
+			fmt.Println("usage: figures {list | run | render | check} [flags]   (or legacy: figures -exp ... )")
 			fmt.Println("  run    simulate into a checkpointed results directory (resumable);")
 			fmt.Println("         -exp runs built-in experiments, -campaign runs a JSON campaign spec")
 			fmt.Println("  render turn recorded results into reports without re-simulating")
+			fmt.Println("  check  re-run the recorded experiments of experiments/manifest.json and")
+			fmt.Println("         byte-compare exports + reports against the committed artefacts;")
+			fmt.Println("         exits non-zero on any mismatch (figures check [id|all])")
 			return nil
 		}
 	}
@@ -112,10 +128,15 @@ func expandIDs(exp string) ([]string, error) {
 	}
 	ids := strings.Split(exp, ",")
 	reg := sweep.Registry()
+	seen := map[string]bool{}
 	for _, id := range ids {
 		if _, ok := reg[id]; !ok {
 			return nil, fmt.Errorf("unknown experiment %q (use `figures list`)", id)
 		}
+		if seen[id] {
+			return nil, fmt.Errorf("experiment %q listed twice in -exp", id)
+		}
+		seen[id] = true
 	}
 	return ids, nil
 }
@@ -131,7 +152,15 @@ func expandRenderIDs(exp, resDir string) ([]string, error) {
 		return nil, fmt.Errorf("missing -exp (use `figures list` to see the available experiments)")
 	}
 	if exp != "all" {
-		return strings.Split(exp, ","), nil
+		ids := strings.Split(exp, ",")
+		seen := map[string]bool{}
+		for _, id := range ids {
+			if seen[id] {
+				return nil, fmt.Errorf("experiment %q listed twice in -exp", id)
+			}
+			seen[id] = true
+		}
+		return ids, nil
 	}
 	ids := sweep.IDs()
 	have := map[string]bool{}

@@ -1,0 +1,92 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+
+	"flexvc/internal/config"
+	"flexvc/internal/results"
+)
+
+// compiledShape reduces a compiled campaign to its comparable essence: section
+// titles, loads, scenarios, variant labels, and — because Apply is a closure —
+// the config fingerprint each variant produces from a fixed base. Two specs
+// with equal shapes run the same simulations under the same results keys.
+func compiledShape(t *testing.T, c *Campaign) []map[string]any {
+	t.Helper()
+	sections, err := c.Compile()
+	if err != nil {
+		t.Fatalf("validated campaign does not compile: %v", err)
+	}
+	base, err := config.AtScale("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := make([]map[string]any, 0, len(sections))
+	for _, sec := range sections {
+		labels := make([]string, 0, len(sec.Variants))
+		prints := make([]string, 0, len(sec.Variants))
+		for _, v := range sec.Variants {
+			labels = append(labels, v.Label)
+			cfg := base
+			v.Apply(&cfg)
+			prints = append(prints, results.Fingerprint(cfg))
+		}
+		shape = append(shape, map[string]any{
+			"title":    sec.Title,
+			"loads":    sec.Loads,
+			"scenario": sec.Scenario,
+			"labels":   labels,
+			"prints":   prints,
+		})
+	}
+	return shape
+}
+
+// FuzzCampaignParse fuzzes the campaign spec loader: Parse must never panic,
+// and any spec it accepts must survive marshal → re-parse with an equivalent
+// compiled form — identical section titles, loads, scenarios, variant labels
+// and per-variant config fingerprints. That is the invariant that makes specs
+// safe to reformat or regenerate without orphaning recorded checkpoints.
+func FuzzCampaignParse(f *testing.F) {
+	for _, name := range BuiltinNames() {
+		if b, err := specFS.ReadFile("specs/" + name + ".json"); err == nil {
+			f.Add(b)
+		}
+	}
+	if b, err := os.ReadFile("../../experiments/pb-policies-transient/campaign.json"); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{"name":"t","loads":[0.4],"sections":[
+		{"title":"one","variants":[{"label":"a","set":{}}]}]}`))
+	f.Add([]byte(`{"name":"t","loads":[0.2,0.4],"sections":[{"title":"axes","axes":[
+		{"name":"policy","values":[{"label":"pb","set":{"policy":"pb"}},{"label":"abr","set":{"policy":"abr"}}]},
+		{"name":"vc","values":[{"label":"4/2+2/1","set":{"vcs":"4/2+2/1"}}]}]}]}`))
+	f.Add([]byte(`{"name":"Bad Name","sections":[]}`))
+	f.Add([]byte(`{"name":"t","sections":[{"title":"dup"},{"title":"dup"}]}`))
+	f.Add([]byte(`{"unknown":true}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Parse(data)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("accepted campaign does not marshal: %v", err)
+		}
+		c2, err := Parse(b)
+		if err != nil {
+			t.Fatalf("re-marshalled campaign rejected: %v\n%s", err, b)
+		}
+		if c.Name != c2.Name || c.ReportTitle() != c2.ReportTitle() {
+			t.Fatalf("round trip changed identity: %q/%q vs %q/%q", c.Name, c.ReportTitle(), c2.Name, c2.ReportTitle())
+		}
+		if !reflect.DeepEqual(compiledShape(t, c), compiledShape(t, c2)) {
+			t.Fatalf("round trip changed the compiled form:\n%s", b)
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package campaign
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestCampaignKeyStability extends TestResultsKeyStability's contract to the
+// spec layer: it pins the exact section titles and variant labels of every
+// embedded campaign spec and of every campaign the experiments manifest
+// records. These strings key checkpoints and replications in recorded results
+// (experiments/*), so a change here orphans recorded data — renames must be
+// deliberate and must regenerate the artefacts (`figures check -update` after
+// re-running). Each spec is also pushed through a marshal → re-parse round
+// trip, proving a mechanical reformat of the JSON cannot shift the key space.
+func TestCampaignKeyStability(t *testing.T) {
+	cases := []struct {
+		src      string // embedded name or repo-relative spec path
+		name     string
+		sections map[string][]string // pinned title -> variant labels
+	}{
+		{
+			src: "fig5", name: "fig5",
+			sections: map[string][]string{
+				"(a) UN with MIN routing":        {"Baseline 2/1", "DAMQ75 2/1", "FlexVC 2/1", "FlexVC 4/2", "FlexVC 8/4"},
+				"(b) BURSTY-UN with MIN routing": {"Baseline 2/1", "DAMQ75 2/1", "FlexVC 2/1", "FlexVC 4/2", "FlexVC 8/4"},
+				"(c) ADV with VAL routing":       {"Baseline 4/2", "DAMQ75 4/2", "FlexVC 4/2", "FlexVC 8/4"},
+			},
+		},
+		{
+			src: "smoke", name: "smoke",
+			sections: map[string][]string{
+				"UN with MIN routing": {"Baseline 2/1", "FlexVC 4/2"},
+			},
+		},
+		{
+			// The manifest-recorded campaign (experiments/manifest.json entry
+			// pb-policies-transient): its keys guard committed artefacts.
+			src: "../../experiments/pb-policies-transient/campaign.json", name: "pb-policies-transient",
+			sections: map[string][]string{
+				"UN -> ADV -> UN under PB": {"Baseline 4/2", "FlexVC 4/2", "FlexVC-minCred 4/2"},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := Resolve(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Name != tc.name {
+				t.Fatalf("campaign name %q, want %q (it keys the results export)", c.Name, tc.name)
+			}
+			verifySections(t, c, tc.sections)
+
+			// Round trip: reformatting or regenerating the JSON must not move
+			// a single key.
+			b, err := json.Marshal(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2, err := Parse(b)
+			if err != nil {
+				t.Fatalf("re-marshalled spec rejected: %v", err)
+			}
+			verifySections(t, c2, tc.sections)
+		})
+	}
+}
+
+func verifySections(t *testing.T, c *Campaign, want map[string][]string) {
+	t.Helper()
+	secs, err := c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != len(want) {
+		t.Errorf("%s: %d sections, want %d", c.Name, len(secs), len(want))
+	}
+	for _, sec := range secs {
+		labels, ok := want[sec.Title]
+		if !ok {
+			t.Errorf("%s: unexpected section title %q (results keys must stay stable)", c.Name, sec.Title)
+			continue
+		}
+		if len(sec.Variants) != len(labels) {
+			t.Errorf("%s/%s: %d variants, want %d", c.Name, sec.Title, len(sec.Variants), len(labels))
+			continue
+		}
+		for i, v := range sec.Variants {
+			if v.Label != labels[i] {
+				t.Errorf("%s/%s[%d]: label %q, want %q (results keys must stay stable)", c.Name, sec.Title, i, v.Label, labels[i])
+			}
+		}
+	}
+}

@@ -189,7 +189,11 @@ func TestShardedRunSurvivesSIGKILLedWorker(t *testing.T) {
 	ref := singleProcessExport(t)
 
 	dir := t.TempDir()
-	ttl := 300 * time.Millisecond
+	// The TTL bounds how long the survivor waits before taking over the
+	// victim's leases, so keep it short — but not so short that a loaded CI
+	// box can stall a *live* worker's heartbeat (TTL/4) past it and trigger a
+	// spurious takeover. 1s gives a 750ms scheduling margin per beat.
+	ttl := time.Second
 	killSeen := false
 	co := &Coordinator{
 		Spec:             testCampaign(),

@@ -1,0 +1,29 @@
+package results
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+)
+
+// This file is the digest side of the byte-identity contract (see
+// internal/verify): recorded exports and rendered reports are pinned by full
+// sha256 digests in experiments/manifest.json, and `figures check` compares
+// both the recorded bytes and a fresh re-run against them.
+
+// DigestBytes returns the full lowercase-hex sha256 of data — the digest
+// vocabulary of experiment manifests. (Fingerprint deliberately truncates for
+// readable config hashes; artefact digests do not.)
+func DigestBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// DigestFile returns the sha256 digest of a file's contents.
+func DigestFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return DigestBytes(b), nil
+}

@@ -116,6 +116,15 @@ func (s *Store) TryClaim(key Key, owner string, ttl time.Duration) (*Lease, erro
 	}
 }
 
+// refresh stamps the lease mtime to now — one beat of the liveness protocol.
+// The heartbeat goroutine calls it on a ticker; tests call it directly to
+// prove a beat revives an almost-expired lease without racing wall clock
+// against a ticker.
+func (l *Lease) refresh() {
+	now := time.Now()
+	_ = os.Chtimes(l.path, now, now)
+}
+
 // heartbeat refreshes the lease mtime every ttl/4 until Release so live
 // claims never expire under long simulations.
 func (l *Lease) heartbeat(ttl time.Duration) {
@@ -133,8 +142,7 @@ func (l *Lease) heartbeat(ttl time.Duration) {
 			case <-l.stop:
 				return
 			case <-t.C:
-				now := time.Now()
-				_ = os.Chtimes(l.path, now, now)
+				l.refresh()
 			}
 		}
 	}()
