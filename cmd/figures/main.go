@@ -203,9 +203,13 @@ func runCmd(args []string) error {
 		seeds     = fs.Int("seeds", 0, "independent replications per point (the paper uses 5; campaign specs may set their own default)")
 		parallel  = fs.Int("parallel", 0, "cap on sweep points in flight (0 = unbounded; a memory guard)")
 		workers   = fs.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
+		shards    = fs.Int("shards", 0, "network shards per replication: 1 serial, 0 auto, N explicit (bit-identical at any value)")
 		quick     = fs.Bool("quick", false, "trim sweeps for a fast smoke run")
 		resDir    = fs.String("results", "", "results directory (required): checkpoints + exported results JSON")
 		revision  = fs.String("revision", "", "source revision to stamp into the results (default: git rev-parse)")
+		manAdd    = fs.Bool("manifest-add", false, "after recording, render report.md next to the export and register a digest-pinned entry in -manifest (entry id = the results directory name)")
+		manifestF = fs.String("manifest", "experiments/manifest.json", "experiments manifest -manifest-add appends to (recordings under its directory without an entry get a reminder)")
+		notes     = fs.String("notes", "", "free-form provenance to record in the manifest entry (with -manifest-add)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -246,6 +250,15 @@ func runCmd(args []string) error {
 	}
 
 	reg := sweep.Registry()
+	if *manAdd {
+		// A manifest entry pins one recording: one id, one export, one report.
+		if len(ids) != 1 {
+			return fmt.Errorf("run: -manifest-add registers exactly one recorded experiment per entry; run %d experiments separately", len(ids))
+		}
+		if spec == nil && reg[ids[0]].Analytic {
+			return fmt.Errorf("run: %s is analytic — nothing is recorded, so there is nothing to register", ids[0])
+		}
+	}
 	for _, id := range ids {
 		if spec == nil && reg[id].Analytic {
 			fmt.Fprintf(os.Stderr, "%s: analytic (nothing to simulate or record); render it with `figures -exp %s`\n", id, id)
@@ -271,6 +284,7 @@ func runCmd(args []string) error {
 			Seeds:       expSeeds,
 			Parallelism: *parallel,
 			Quick:       *quick,
+			Shards:      *shards,
 			Results:     store,
 			Progress: func(p sweep.Progress) {
 				final = p
@@ -300,6 +314,14 @@ func runCmd(args []string) error {
 		}
 		fmt.Printf("%s: %d replications (%d restored from checkpoints) in %s -> %s\n",
 			id, final.Done, final.Skipped, time.Since(start).Round(time.Millisecond), path)
+		if *manAdd {
+			entryID := filepath.Base(filepath.Clean(*resDir))
+			if err := manifestAppend(*manifestF, entryID, spec, *campaignF, id, path, expScale, expSeeds, *quick, store.WallTotal(), *notes); err != nil {
+				return fmt.Errorf("%s: -manifest-add: %w", id, err)
+			}
+		} else {
+			manifestHint(*manifestF, path)
+		}
 	}
 	fmt.Printf("results directory %s now holds %d replications (%s of simulation)\n",
 		*resDir, store.Len(), store.WallTotal().Round(time.Second))
@@ -426,6 +448,7 @@ func legacyCmd(args []string) error {
 		seeds    = fs.Int("seeds", 1, "independent replications per point (the paper uses 5)")
 		parallel = fs.Int("parallel", 0, "cap on sweep points in flight (0 = unbounded; a memory guard)")
 		workers  = fs.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
+		shards   = fs.Int("shards", 0, "network shards per replication: 1 serial, 0 auto, N explicit (bit-identical at any value)")
 		quick    = fs.Bool("quick", false, "trim sweeps for a fast smoke run")
 		out      = fs.String("out", "", "directory to write one report file per experiment (default: stdout)")
 	)
@@ -443,7 +466,7 @@ func legacyCmd(args []string) error {
 	if *workers > 0 {
 		sim.SetWorkerBudget(*workers)
 	}
-	opts := sweep.Options{Scale: *scale, Seeds: *seeds, Parallelism: *parallel, Quick: *quick}
+	opts := sweep.Options{Scale: *scale, Seeds: *seeds, Parallelism: *parallel, Quick: *quick, Shards: *shards}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = sweep.IDs()

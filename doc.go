@@ -16,14 +16,27 @@
 //
 // # Execution model
 //
-// The simulator core is single-threaded per replication: one Network owns
-// its topology, routers, PRNG streams and packet free-list, and is stepped
-// cycle by cycle. Parallelism lives one level up: sim.RunAveraged runs
-// replications concurrently and sweep.LoadSweep schedules every point of
-// every series at once, with all work draining through one process-wide
-// worker budget (sim.SetWorkerBudget, default GOMAXPROCS). Because each
-// replication is fully self-contained and results are aggregated in
-// replication order, parallel results are bit-identical to sequential runs.
+// Parallelism exists at three nested layers, each bit-identical to serial
+// execution:
+//
+//   - Shards within a replication: the router-stepping phase of the cycle
+//     loop runs across goroutines, each owning a contiguous block of router
+//     IDs (config.Shards: 1 serial, 0 auto from GOMAXPROCS, N explicit).
+//     Cross-shard effects are buffered per shard and merged in shard order,
+//     reproducing the serial event order exactly. Reach for this when a
+//     single simulation must go faster — few replications of a big network.
+//   - Replications within a process: sim.RunAveraged runs replications
+//     concurrently and sweep.LoadSweep schedules every point of every series
+//     at once, with all work — shard helpers included — draining through one
+//     process-wide worker budget (sim.SetWorkerBudget, default GOMAXPROCS).
+//     Each replication is fully self-contained and results aggregate in
+//     replication order. This is the default: sweeps with many points and
+//     seeds saturate the machine without any knobs.
+//   - Worker processes across a campaign: cmd/campaignd divides one campaign
+//     across N processes (or machines sharing a filesystem) through
+//     lease-based claims on the results directory, crash-tolerant with
+//     byte-identical exports. Reach for this when one process — or one
+//     machine — is not enough.
 //
 // The per-cycle hot path avoids both scans and steady-state allocation:
 // routers holding no packets are skipped (active-router list), injection

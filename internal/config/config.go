@@ -153,6 +153,18 @@ type Config struct {
 	// bit-identical; the gate only trades memory for speed.
 	RouteTableBytes int
 
+	// --- Execution (not part of the experiment identity) ---
+	// Shards is the number of spatial network shards the cycle loop of a
+	// single replication may step in parallel: 1 runs the serial loop, 0
+	// picks an automatic count from GOMAXPROCS and the network size, and
+	// N >= 2 requests N shards (capped at the number of shardable router
+	// blocks). Sharded and serial runs are bit-identical by construction
+	// (see internal/sim), so this knob only trades cores for latency. It is
+	// excluded from the JSON form on purpose: result fingerprints,
+	// checkpoint identities and exports must not depend on how many cores
+	// executed the run.
+	Shards int `json:"-"`
+
 	// --- Simulation control ---
 	WarmupCycles  int64
 	MeasureCycles int64
@@ -351,6 +363,9 @@ func (c Config) Validate() error {
 	}
 	if c.WarmupCycles < 0 || c.MeasureCycles <= 0 {
 		return fmt.Errorf("config: invalid warmup/measurement windows")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("config: shard count must be >= 0 (0 = auto), got %d", c.Shards)
 	}
 	if c.Traffic == TrafficBursty && c.AvgBurstLength < 1 {
 		return fmt.Errorf("config: bursty-un traffic needs AvgBurstLength >= 1 packet, got %g (the paper's Table V uses 5)", c.AvgBurstLength)

@@ -59,6 +59,12 @@ type Network struct {
 	// does not arbitrate at every node every cycle. Order is irrelevant:
 	// injection at a node only touches that node's own terminal port.
 	pendingNodes []packet.NodeID
+	// shards, when longer than 1, holds the contiguous router-ID blocks the
+	// stepping phase runs in parallel (see shard.go); empty means the serial
+	// loop. shardSlots bounds the goroutines one Step may use — Run lowers
+	// it to 1 + the extra worker-budget tokens it could borrow.
+	shards     []*shardState
+	shardSlots int
 
 	wheel     eventWheel
 	collector *stats.Collector
@@ -158,6 +164,12 @@ func New(cfg config.Config) (*Network, error) {
 		}
 		n.downInput[r] = row
 	}
+
+	// Sharded stepping (config.Shards): repartition the routers into
+	// contiguous blocks and point their environments at per-shard event
+	// buffers. Must come after the downInput wiring above — shard
+	// environments delegate downstream lookups to it.
+	n.buildShards(shardPlan(cfg, topo))
 
 	n.nodes = make([]nodeState, topo.NumNodes())
 	n.activeRouter = make([]bool, topo.NumRouters())

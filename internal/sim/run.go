@@ -10,8 +10,13 @@ import (
 )
 
 // Run simulates warm-up plus measurement cycles (or until the deadlock
-// watchdog fires) and returns the run summary.
+// watchdog fires) and returns the run summary. When the network is sharded it
+// borrows extra worker-budget tokens for the duration of the run (see
+// acquireShardSlots), so shard parallelism and the replication-level worker
+// budget share one core accounting.
 func (n *Network) Run() stats.Result {
+	release := n.acquireShardSlots()
+	defer release()
 	total := n.cfg.WarmupCycles + n.cfg.MeasureCycles
 	if n.cfg.Scenario != nil {
 		total = n.cfg.Scenario.TotalCycles()
@@ -29,8 +34,11 @@ func (n *Network) Run() stats.Result {
 }
 
 // RunCycles advances the simulation by exactly `cycles` cycles (useful for
-// tests that inspect intermediate state).
+// tests that inspect intermediate state), on the same shard-slot accounting
+// as Run.
 func (n *Network) RunCycles(cycles int64) {
+	release := n.acquireShardSlots()
+	defer release()
 	for i := int64(0); i < cycles; i++ {
 		n.Step()
 	}

@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"flexvc/internal/config"
+	"flexvc/internal/core"
+	"flexvc/internal/routing"
+)
+
+// shardVariant is one entry of the shard-equivalence matrix.
+type shardVariant struct {
+	name string
+	cfg  config.Config
+}
+
+// shardVariants builds the topology x routing matrix the shard-equivalence
+// properties run over: Dragonfly at two scales with all four routing
+// algorithms (PB is Dragonfly-only) and the flattened butterfly with the
+// oblivious pair. Mirrors the route-table equivalence matrix.
+func shardVariants() []shardVariant {
+	variants := []shardVariant{}
+	add := func(name string, cfg config.Config) {
+		cfg.WarmupCycles = 300
+		cfg.MeasureCycles = 1200
+		variants = append(variants, shardVariant{name, cfg})
+	}
+
+	for _, scale := range []struct {
+		name string
+		cfg  func() config.Config
+	}{
+		{"tiny", config.Tiny},
+		{"small", config.Small},
+	} {
+		min := scale.cfg()
+		min.Routing = routing.MIN
+		add("dragonfly-"+scale.name+"-min", min)
+
+		val := scale.cfg()
+		val.Routing = routing.VAL
+		val.Scheme = core.Scheme{Policy: core.FlexVC, VCs: core.SingleClass(4, 2), Selection: core.JSQ}
+		val.Traffic = config.TrafficAdversarial
+		add("dragonfly-"+scale.name+"-val", val)
+
+		par := scale.cfg()
+		par.Routing = routing.PAR
+		par.Scheme = core.Scheme{Policy: core.FlexVC, VCs: core.SingleClass(5, 2), Selection: core.JSQ}
+		add("dragonfly-"+scale.name+"-par", par)
+
+		pb := scale.cfg()
+		pb.Routing = routing.PB
+		pb.Reactive = true
+		pb.Scheme = core.Scheme{Policy: core.FlexVC, VCs: core.TwoClass(4, 2, 2, 1), Selection: core.JSQ}
+		add("dragonfly-"+scale.name+"-pb", pb)
+	}
+
+	fb := config.Small()
+	fb.Topology = config.TopoFlattenedButterfly
+	fb.K, fb.P = 4, 2
+	fb.Routing = routing.MIN
+	add("fbfly-min", fb)
+
+	fbv := fb
+	fbv.Routing = routing.VAL
+	fbv.Scheme = core.Scheme{Policy: core.FlexVC, VCs: core.SingleClass(4, 0), Selection: core.JSQ}
+	add("fbfly-val", fbv)
+
+	return variants
+}
+
+// TestShardEquivalence is the core bit-identity property of the parallel
+// cycle loop: for every topology x routing variant, a run sharded 2, 4 or
+// auto ways must produce a result bit-identical to the serial run. A single
+// reordered event anywhere — a credit returning one append earlier, an
+// arrival enqueued after instead of before a rival — would cascade into a
+// diverging aggregate, so DeepEqual on the full summary is a sharp check.
+func TestShardEquivalence(t *testing.T) {
+	for _, v := range shardVariants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			serial := v.cfg
+			serial.Shards = 1
+			want, err := RunOne(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.DeliveredPackets == 0 {
+				t.Fatal("serial run moved no traffic; equivalence check is vacuous")
+			}
+			for _, shards := range []int{2, 4, 0} {
+				sharded := v.cfg
+				sharded.Shards = shards
+				got, err := RunOne(sharded)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("shards=%d diverges from serial:\n sharded: %+v\n serial:  %+v", shards, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardPlanPartition checks the shard construction invariants: the blocks
+// cover every router exactly once, in ascending contiguous order, and on the
+// Dragonfly every block boundary falls on a group boundary (router IDs are
+// group-major, so local all-to-all traffic stays shard-internal).
+func TestShardPlanPartition(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		cfg    config.Config
+		shards int
+	}{
+		{"small-2", config.Small(), 2},
+		{"small-4", config.Small(), 4},
+		{"small-9", config.Small(), 9},
+		{"small-overask", config.Small(), 64}, // capped at 9 groups
+		{"medium-8", config.Medium(), 8},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tc.cfg.Shards = tc.shards
+			n, err := New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(n.shards) == 0 {
+				t.Fatalf("shards=%d built the serial path", tc.shards)
+			}
+			topo := n.Topology()
+			prev := 0
+			for i, sh := range n.shards {
+				if sh.lo != prev {
+					t.Fatalf("shard %d starts at %d, want %d (gap or overlap)", i, sh.lo, prev)
+				}
+				if sh.hi <= sh.lo {
+					t.Fatalf("shard %d empty: [%d, %d)", i, sh.lo, sh.hi)
+				}
+				if sh.lo%tc.cfg.A != 0 {
+					t.Fatalf("shard %d starts mid-group at router %d (A=%d)", i, sh.lo, tc.cfg.A)
+				}
+				prev = sh.hi
+			}
+			if prev != topo.NumRouters() {
+				t.Fatalf("shards cover %d routers, topology has %d", prev, topo.NumRouters())
+			}
+			if groups := topo.NumRouters() / tc.cfg.A; len(n.shards) > groups {
+				t.Fatalf("%d shards exceed the %d groups", len(n.shards), groups)
+			}
+		})
+	}
+}
+
+// TestShardsExcludedFromIdentity pins the contract that the shard knob is an
+// execution detail, not part of the experiment identity: the JSON form of a
+// configuration — the input of results.Fingerprint, checkpoint keys and
+// recorded exports — must not change with the shard count, or re-running a
+// recorded experiment on a different machine would orphan its checkpoints.
+func TestShardsExcludedFromIdentity(t *testing.T) {
+	serial := config.Small()
+	serial.Shards = 1
+	sharded := config.Small()
+	sharded.Shards = 8
+	a, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("Shards leaks into the config JSON identity:\n shards=1: %s\n shards=8: %s", a, b)
+	}
+}
+
+// TestShardedRunUnderBudgetChurn runs sharded replications concurrently while
+// another goroutine churns the process-wide worker budget, and demands
+// bit-identical results throughout. Under -race this doubles as the data-race
+// proof for the fork/join stepping phase composed with SetWorkerBudget's
+// atomic pool swap (acquirers must release into the channel they acquired
+// from, whatever the current pool is).
+func TestShardedRunUnderBudgetChurn(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	defer SetWorkerBudget(WorkerBudget())
+
+	cfg := config.Small()
+	cfg.Routing = routing.PAR
+	cfg.Scheme = core.Scheme{Policy: core.FlexVC, VCs: core.SingleClass(5, 2), Selection: core.JSQ}
+	cfg.WarmupCycles = 200
+	cfg.MeasureCycles = 800
+	cfg.Shards = 1
+	want, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		size := 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				SetWorkerBudget(size%4 + 1)
+				size++
+			}
+		}
+	}()
+
+	const runs = 6
+	results := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := cfg
+			c.Shards = i%3 + 2 // 2, 3, 4 shards
+			got, err := RunOne(c)
+			if err != nil {
+				results[i] = err
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				results[i] = fmt.Errorf("sharded run diverged from serial under budget churn (shards=%d)", c.Shards)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+	for _, err := range results {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

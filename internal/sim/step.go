@@ -54,26 +54,46 @@ func (q *pktFIFO) reset() { q.items = q.items[:0]; q.head = 0 }
 //     transmission); idle routers are skipped — an empty router's Step is a
 //     no-op that consumes no randomness, so skipping it cannot change results
 //
-// Routers are stepped in ascending identifier order. The order matters for
-// exact reproducibility: a router's grants consume downstream credits that
-// later routers observe through their congestion probes within the same
-// cycle.
+// Phases 1–3 are serial. Phase 4 steps routers in ascending identifier order;
+// with sharding enabled (config.Shards, see shard.go) contiguous router-ID
+// blocks step concurrently. Router steps are mutually conflict-free within a
+// cycle — a router's grants consume credits of the downstream buffers that
+// only it writes and probes, queue state is owner-only, and credit returns
+// ride the event wheel into the next serial phase — so the router order
+// influences results solely through the order events are appended to the
+// wheel (a slot's append order is the order processEvents replays it).
+// The serial loop appends in ascending router-ID order; the sharded loop
+// buffers each shard's events and flushes them in ascending shard order,
+// reproducing the identical wheel order. Sharded and serial runs are
+// therefore bit-identical.
 func (n *Network) Step() {
 	n.processEvents()
 	n.inject()
 	if n.pb != nil {
 		n.pb.Update(n.now)
 	}
-	for id, r := range n.routers {
+	if len(n.shards) > 1 {
+		n.stepSharded()
+	} else {
+		n.stepBlock(0, len(n.routers))
+	}
+	n.now++
+}
+
+// stepBlock steps the busy routers of the ID range [lo, hi) in ascending
+// order. It is the phase-4 body for both the serial loop (the full range) and
+// one shard of the parallel loop.
+func (n *Network) stepBlock(lo, hi int) {
+	for id := lo; id < hi; id++ {
 		if !n.activeRouter[id] {
 			continue
 		}
+		r := n.routers[id]
 		r.Step(n.now)
 		if !r.Busy() {
 			n.activeRouter[id] = false
 		}
 	}
-	n.now++
 }
 
 // markRouterActive flags a router for stepping; it stays flagged until a Step

@@ -1,0 +1,51 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"flexvc/internal/results"
+)
+
+// TestExportShardInvariant is the export-layer half of the shard bit-identity
+// contract (the sim-layer matrix lives in internal/sim): the full fig5
+// experiment — MIN, VAL and PB variants over both VC policies — run through
+// the checkpointed store at shards 1, 2, 4 and auto must write byte-identical
+// results exports. Exports embed the config fingerprint of every record, so
+// this also pins that the shard knob stays out of the experiment identity
+// (checkpoints recorded serial restore into sharded runs and vice versa).
+func TestExportShardInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 4x14 small-scale points")
+	}
+	title := Registry()["fig5"].Title
+	export := func(shards int) []byte {
+		t.Helper()
+		store, err := results.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := Options{Scale: "small", Seeds: 1, Quick: true, Loads: []float64{0.2}, Shards: shards, Results: store}
+		if _, err := Run("fig5", o); err != nil {
+			t.Fatal(err)
+		}
+		path, err := store.WriteExport("fig5", title)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	want := export(1)
+	for _, shards := range []int{2, 4, 0} {
+		if got := export(shards); !bytes.Equal(got, want) {
+			t.Errorf("fig5 export at shards=%d differs from the serial export\n--- serial (%d bytes) ---\n%.2000s\n--- shards=%d (%d bytes) ---\n%.2000s",
+				shards, len(want), want, shards, len(got), got)
+		}
+	}
+}

@@ -75,6 +75,12 @@ type Options struct {
 	// Quick trims the sweep to fewer points and shorter measurement windows
 	// for smoke runs and benchmarks.
 	Quick bool
+	// Shards is the intra-replication shard count applied to every simulated
+	// configuration (config.Config.Shards): 1 serial, 0 auto, N >= 2 explicit.
+	// Sharding is an execution knob — results, checkpoints and exports are
+	// bit-identical at any value — so it composes freely with restored
+	// checkpoints recorded at a different count.
+	Shards int
 	// Results, when non-nil, turns the run into a checkpointed sweep: every
 	// completed replication is persisted into the store as it finishes, and
 	// replications already present (matched by key and config fingerprint)
@@ -209,6 +215,7 @@ func (o Options) BaseConfig() (config.Config, error) {
 		cfg.WarmupCycles /= 2
 		cfg.MeasureCycles /= 2
 	}
+	cfg.Shards = o.Shards
 	return cfg, nil
 }
 

@@ -111,6 +111,12 @@ type Options struct {
 	CorruptFresh string
 	// Progress, when non-nil, streams the re-run's sweep progress events.
 	Progress func(sweep.Progress)
+	// Shards is the intra-replication shard count the re-runs simulate with
+	// (sweep.Options.Shards: 1 serial, 0 auto, N >= 2 explicit). Because
+	// sharding is bit-identical by contract, a check run at any shard count
+	// must still reproduce the recorded artefacts byte for byte — running
+	// the checks with Shards > 1 is itself a verification of that contract.
+	Shards int
 }
 
 // Check verifies the given entry ids (nil or ["all"] means every entry) and
@@ -201,7 +207,7 @@ func checkEntry(m *Manifest, e Entry, scratch string, opts Options) Result {
 		res.Detail = fmt.Sprintf("re-run skipped: approx wall %.0fs exceeds -max-wall %s (recorded digests verified)", e.ApproxWallS, opts.MaxWall)
 		return done()
 	}
-	gotExport, gotReport, reps, err := rerun(m, e, scratch, expected.Revision, opts.Progress)
+	gotExport, gotReport, reps, err := rerun(m, e, scratch, expected.Revision, opts)
 	if err != nil {
 		res.Mismatches = append(res.Mismatches, Mismatch{Artifact: e.Export.Path, Reason: fmt.Sprintf("re-run failed: %v", err)})
 		return done()
@@ -245,7 +251,8 @@ func readPinned(m *Manifest, ref FileRef, res *Result) ([]byte, bool) {
 // pinned into the scratch store first: the revision header is provenance of
 // the recording, not a simulation outcome, and it is the only field that
 // would legitimately differ between the recording machine and this one.
-func rerun(m *Manifest, e Entry, scratch, revision string, progress func(sweep.Progress)) (export, report []byte, reps int, err error) {
+func rerun(m *Manifest, e Entry, scratch, revision string, ropts Options) (export, report []byte, reps int, err error) {
+	progress := ropts.Progress
 	if err := os.MkdirAll(scratch, 0o755); err != nil {
 		return nil, nil, 0, err
 	}
@@ -261,6 +268,7 @@ func rerun(m *Manifest, e Entry, scratch, revision string, progress func(sweep.P
 		Scale:   e.Scale,
 		Seeds:   e.Seeds,
 		Quick:   e.Quick,
+		Shards:  ropts.Shards,
 		Results: store,
 		Progress: func(p sweep.Progress) {
 			final = p
