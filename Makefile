@@ -11,11 +11,11 @@ GO ?= go
 # committed tolerance is 40%: wide enough to absorb the per-core speed
 # spread between the machine that recorded the baseline and shared CI
 # runners, tight enough to catch a real hot-path slowdown.
-BENCH_GATE_PAT  := SmokeSweep|AllowedVCs|RouterStep|InputBufferCycle
-BENCH_GATE_PKGS := . ./internal/router ./internal/buffer
+BENCH_GATE_PAT  := SmokeSweep|AllowedVCs|RouterStep|InputBufferCycle|Obs
+BENCH_GATE_PKGS := . ./internal/router ./internal/buffer ./internal/obs
 BENCH_COUNT     ?= 3
 
-.PHONY: build test race lint bench-check bench-baseline ci check-smoke check-full scenario-smoke campaign-smoke campaignd-smoke
+.PHONY: build test race lint bench-check bench-baseline ci check-smoke check-full scenario-smoke campaign-smoke campaignd-smoke campaignd-metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -69,9 +69,13 @@ check-smoke:
 # entry, however expensive, and byte-compare exports and rendered reports
 # against the committed artefacts. Scratch results stay under
 # $(RESULTS_DIR_CHECK) so CI can upload the diverging exports on failure.
+# The metered re-runs double as a live zero-impact check (byte-compare with a
+# registry attached), and the snapshot is uploaded as a nightly artifact so
+# phase/checkpoint profiles are trackable across runs without re-simulating.
 RESULTS_DIR_CHECK ?= results/check
 check-full:
-	$(GO) run ./cmd/figures check -work $(RESULTS_DIR_CHECK) -v all
+	$(GO) run ./cmd/figures check -work $(RESULTS_DIR_CHECK) \
+		-metrics-out $(RESULTS_DIR_CHECK)/metrics.json -v all
 
 # A quick end-to-end scenario run through flexvcsim -scenario: loads the
 # checked-in scenario JSON, simulates one PB replication and prints the
@@ -97,6 +101,7 @@ campaign-smoke:
 # be byte-identical — proving the shard-claim protocol's exactly-once and
 # crash-resume properties end to end on a real binary, not just in tests.
 RESULTS_DIR_CAMPAIGND ?= results/campaignd-smoke
+CAMPAIGND_SMOKE_ADDR  ?= 127.0.0.1:8737
 campaignd-smoke:
 	$(GO) run ./cmd/figures run -campaign smoke -quick -seeds 4 \
 		-results $(RESULTS_DIR_CAMPAIGND)/single
@@ -105,3 +110,37 @@ campaignd-smoke:
 		-results $(RESULTS_DIR_CAMPAIGND)/sharded
 	diff $(RESULTS_DIR_CAMPAIGND)/single/smoke.results.json \
 		$(RESULTS_DIR_CAMPAIGND)/sharded/smoke.results.json
+	$(MAKE) campaignd-metrics-smoke
+
+# The service-metrics gate: start `campaignd serve`, run the smoke campaign
+# through the HTTP API, then scrape GET /metrics and assert the key series are
+# non-zero — proving the worker -> coordinator -> server metrics flow (worker
+# registry snapshots pooled over the NDJSON event stream) end to end on a real
+# binary. Asserted families cover each layer: process management
+# (workers_spawned), the lease protocol (lease_claims), the sweep scheduler
+# (replications_simulated), the checkpoint store (put_latency histogram) and
+# the cycle loop's phase profile (phase_wall step).
+campaignd-metrics-smoke:
+	$(GO) build -o $(RESULTS_DIR_CAMPAIGND)/campaignd ./cmd/campaignd
+	set -e; \
+	$(RESULTS_DIR_CAMPAIGND)/campaignd serve -addr $(CAMPAIGND_SMOKE_ADDR) \
+		-results $(RESULTS_DIR_CAMPAIGND)/serve -log-level warn & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://$(CAMPAIGND_SMOKE_ADDR)/metrics >/dev/null 2>&1 && break; \
+		sleep 0.2; \
+	done; \
+	$(RESULTS_DIR_CAMPAIGND)/campaignd submit -server http://$(CAMPAIGND_SMOKE_ADDR) \
+		-campaign smoke -quick -workers 2 -quiet; \
+	curl -fsS http://$(CAMPAIGND_SMOKE_ADDR)/metrics > $(RESULTS_DIR_CAMPAIGND)/metrics.prom; \
+	for series in \
+		'flexvc_campaignd_workers_spawned_total' \
+		'flexvc_results_lease_claims_total' \
+		'flexvc_sweep_replications_simulated_total' \
+		'flexvc_results_put_latency_ns_count' \
+		'flexvc_sim_phase_wall_ns_total\{phase="step"\}'; do \
+		grep -E "^$$series [1-9][0-9]*" $(RESULTS_DIR_CAMPAIGND)/metrics.prom >/dev/null || { \
+			echo "campaignd-metrics-smoke: series $$series missing or zero in /metrics:"; \
+			cat $(RESULTS_DIR_CAMPAIGND)/metrics.prom; exit 1; }; \
+	done; \
+	echo "campaignd-metrics-smoke: all key series non-zero"

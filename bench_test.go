@@ -13,6 +13,7 @@ import (
 	"flexvc/internal/buffer"
 	"flexvc/internal/config"
 	"flexvc/internal/core"
+	"flexvc/internal/obs"
 	"flexvc/internal/packet"
 	"flexvc/internal/routing"
 	"flexvc/internal/sim"
@@ -429,7 +430,11 @@ func BenchmarkSmokeSweepSharded(b *testing.B) {
 // counts 1, 2 and 4 (not part of the regression gate — the speedup is
 // hardware-dependent; BENCHMARKS.md records measured runs). The serial and
 // sharded runs produce bit-identical results, so the only thing varying
-// across sub-benchmarks is wall-clock.
+// across sub-benchmarks is wall-clock. Each sub-benchmark runs metered (a
+// metrics registry rides along — TestMeteredRunMatchesSerial pins that this
+// cannot change results) and reports the phase breakdown of the cycle loop
+// plus, when sharded, the busy-time imbalance ratio, so a single run shows
+// where the wall went and whether the shard plan is balanced.
 func BenchmarkShardScaling(b *testing.B) {
 	for _, shards := range []int{1, 2, 4} {
 		b.Run(map[int]string{1: "serial", 2: "shards2", 4: "shards4"}[shards], func(b *testing.B) {
@@ -438,7 +443,16 @@ func BenchmarkShardScaling(b *testing.B) {
 			cfg.Scheme = core.Scheme{Policy: core.FlexVC, VCs: core.SingleClass(5, 2), Selection: core.JSQ}
 			cfg.Load = 0.7
 			cfg.Shards = shards
+			cfg.Metrics = obs.NewRegistry()
 			runSim(b, cfg)
+			snap := cfg.Metrics.Snapshot()
+			for _, phase := range []string{"events", "inject", "pb_update", "step", "flush"} {
+				ns := snap.Counters[sim.MetricPhaseWall+`{phase="`+phase+`"}`]
+				b.ReportMetric(float64(ns)/float64(b.N), phase+"-ns/op")
+			}
+			if shards > 1 {
+				b.ReportMetric(snap.Values[sim.MetricShardImbalance], "shard-imbalance")
+			}
 		})
 	}
 }

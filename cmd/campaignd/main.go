@@ -27,7 +27,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"os"
 	"os/exec"
@@ -36,6 +38,7 @@ import (
 
 	"flexvc/internal/campaign"
 	"flexvc/internal/campaignd"
+	"flexvc/internal/obs"
 )
 
 func main() {
@@ -73,6 +76,28 @@ func usage() error {
 	return nil
 }
 
+// newLogger builds the stderr slog logger the -log-level flag selects; an
+// empty or "off" level disables structured logging entirely (stdout stays
+// reserved for NDJSON events in work mode either way).
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "off":
+		return nil, nil
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, error or off)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
 // gitRevision mirrors the figures CLI's default revision stamp, so exports
 // produced by campaignd and by `figures run` are byte-identical when both
 // run from the same checkout.
@@ -87,24 +112,30 @@ func gitRevision() string {
 func runCmd(args []string) error {
 	fs := flag.NewFlagSet("campaignd run", flag.ContinueOnError)
 	var (
-		campaignF = fs.String("campaign", "", "campaign spec: a JSON file or an embedded spec name (see `figures list`)")
-		resDir    = fs.String("results", "", "shared results directory (required)")
-		workers   = fs.Int("workers", 2, "worker processes to fan replications across")
-		scale     = fs.String("scale", "", "system scale override (campaign specs may set their own default)")
-		seeds     = fs.Int("seeds", 0, "replications per point override")
-		quick     = fs.Bool("quick", false, "trim sweeps for a fast smoke run")
-		simW      = fs.Int("sim-workers", 0, "per-worker simulation concurrency (0 = GOMAXPROCS/workers)")
-		leaseTTL  = fs.Duration("lease-ttl", 0, "shard-claim lease expiry (0 = 60s); takeover latency for dead workers")
-		poll      = fs.Duration("poll", 0, "claim poll interval (0 = 50ms)")
-		killAfter = fs.Int("kill-after", 0, "chaos hook: SIGKILL one worker once this many records exist (0 = off)")
-		revision  = fs.String("revision", "", "source revision to stamp into the results (default: git rev-parse)")
-		quiet     = fs.Bool("quiet", false, "suppress per-event progress output")
+		campaignF  = fs.String("campaign", "", "campaign spec: a JSON file or an embedded spec name (see `figures list`)")
+		resDir     = fs.String("results", "", "shared results directory (required)")
+		workers    = fs.Int("workers", 2, "worker processes to fan replications across")
+		scale      = fs.String("scale", "", "system scale override (campaign specs may set their own default)")
+		seeds      = fs.Int("seeds", 0, "replications per point override")
+		quick      = fs.Bool("quick", false, "trim sweeps for a fast smoke run")
+		simW       = fs.Int("sim-workers", 0, "per-worker simulation concurrency (0 = GOMAXPROCS/workers)")
+		leaseTTL   = fs.Duration("lease-ttl", 0, "shard-claim lease expiry (0 = 60s); takeover latency for dead workers")
+		poll       = fs.Duration("poll", 0, "claim poll interval (0 = 50ms)")
+		killAfter  = fs.Int("kill-after", 0, "chaos hook: SIGKILL one worker once this many records exist (0 = off)")
+		revision   = fs.String("revision", "", "source revision to stamp into the results (default: git rev-parse)")
+		quiet      = fs.Bool("quiet", false, "suppress per-event progress output")
+		metricsOut = fs.String("metrics-out", "", "write the coordinator's pooled metrics snapshot to this JSON file")
+		logLevel   = fs.String("log-level", "", "structured log level on stderr: debug, info, warn, error (default off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *resDir == "" || *campaignF == "" {
 		return fmt.Errorf("run: need -campaign and -results")
+	}
+	log, err := newLogger(*logLevel)
+	if err != nil {
+		return err
 	}
 	spec, err := campaign.Resolve(*campaignF)
 	if err != nil {
@@ -114,6 +145,7 @@ func runCmd(args []string) error {
 	if rev == "" {
 		rev = gitRevision()
 	}
+	reg := obs.NewRegistry()
 	co := &campaignd.Coordinator{
 		Spec:                spec,
 		ResultsDir:          *resDir,
@@ -126,6 +158,8 @@ func runCmd(args []string) error {
 		Poll:                *poll,
 		Revision:            rev,
 		KillAfterRecords:    *killAfter,
+		Metrics:             reg,
+		Logger:              log,
 	}
 	if !*quiet {
 		var lastPrint time.Time
@@ -142,6 +176,12 @@ func runCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *metricsOut != "" {
+		if err := obs.WriteSnapshotFile(reg, *metricsOut); err != nil {
+			return fmt.Errorf("run: metrics snapshot: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics snapshot %s\n", *metricsOut)
+	}
 	fmt.Printf("%s: completed across %d workers in %s -> %s\n",
 		spec.Name, *workers, time.Since(start).Round(time.Millisecond), path)
 	return nil
@@ -156,12 +196,18 @@ func serveCmd(args []string) error {
 		leaseTTL = fs.Duration("lease-ttl", 0, "shard-claim lease expiry (0 = 60s)")
 		poll     = fs.Duration("poll", 0, "claim poll interval (0 = 50ms)")
 		revision = fs.String("revision", "", "source revision to stamp into results (default: git rev-parse)")
+		pprofF   = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling; leave off in shared deployments)")
+		logLevel = fs.String("log-level", "info", "structured log level on stderr: debug, info, warn, error or off")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *resDir == "" {
 		return fmt.Errorf("serve: missing -results directory")
+	}
+	log, err := newLogger(*logLevel)
+	if err != nil {
+		return err
 	}
 	rev := *revision
 	if rev == "" {
@@ -173,9 +219,20 @@ func serveCmd(args []string) error {
 		LeaseTTL:       *leaseTTL,
 		Poll:           *poll,
 		Revision:       rev,
+		Metrics:        obs.NewRegistry(),
+		Logger:         log,
 	}
-	fmt.Fprintf(os.Stderr, "campaignd: serving on %s (results pool %s, %d workers/campaign)\n", *addr, *resDir, *workers)
-	return http.ListenAndServe(*addr, s.Handler())
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	if *pprofF {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	fmt.Fprintf(os.Stderr, "campaignd: serving on %s (results pool %s, %d workers/campaign, pprof %v)\n", *addr, *resDir, *workers, *pprofF)
+	return http.ListenAndServe(*addr, mux)
 }
 
 func submitCmd(args []string) error {
@@ -246,21 +303,27 @@ func submitCmd(args []string) error {
 func workCmd(args []string) error {
 	fs := flag.NewFlagSet("campaignd work", flag.ContinueOnError)
 	var (
-		specPath = fs.String("spec", "", "campaign spec JSON file (required)")
-		resDir   = fs.String("results", "", "shared results directory (required)")
-		owner    = fs.String("owner", "", "worker name for leases and events")
-		scale    = fs.String("scale", "", "system scale override")
-		seeds    = fs.Int("seeds", 0, "replications per point override")
-		quick    = fs.Bool("quick", false, "trim sweeps for a fast smoke run")
-		simW     = fs.Int("sim-workers", 0, "simulation concurrency (0 = GOMAXPROCS)")
-		leaseTTL = fs.Duration("lease-ttl", 0, "shard-claim lease expiry (0 = 60s)")
-		poll     = fs.Duration("poll", 0, "claim poll interval (0 = 50ms)")
+		specPath   = fs.String("spec", "", "campaign spec JSON file (required)")
+		resDir     = fs.String("results", "", "shared results directory (required)")
+		owner      = fs.String("owner", "", "worker name for leases and events")
+		scale      = fs.String("scale", "", "system scale override")
+		seeds      = fs.Int("seeds", 0, "replications per point override")
+		quick      = fs.Bool("quick", false, "trim sweeps for a fast smoke run")
+		simW       = fs.Int("sim-workers", 0, "simulation concurrency (0 = GOMAXPROCS)")
+		leaseTTL   = fs.Duration("lease-ttl", 0, "shard-claim lease expiry (0 = 60s)")
+		poll       = fs.Duration("poll", 0, "claim poll interval (0 = 50ms)")
+		metricsOut = fs.String("metrics-out", "", "write this worker's metrics snapshot to this JSON file")
+		logLevel   = fs.String("log-level", "", "structured log level on stderr: debug, info, warn, error (default off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *specPath == "" || *resDir == "" {
 		return fmt.Errorf("work: need -spec and -results")
+	}
+	log, err := newLogger(*logLevel)
+	if err != nil {
+		return err
 	}
 	return campaignd.RunWorker(campaignd.WorkerConfig{
 		SpecPath:   *specPath,
@@ -273,5 +336,7 @@ func workCmd(args []string) error {
 		LeaseTTL:   *leaseTTL,
 		Poll:       *poll,
 		Events:     os.Stdout,
+		MetricsOut: *metricsOut,
+		Logger:     log,
 	})
 }

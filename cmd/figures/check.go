@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"flexvc/internal/obs"
 	"flexvc/internal/sim"
 	"flexvc/internal/sweep"
 	"flexvc/internal/verify"
@@ -21,15 +22,16 @@ import (
 func checkCmd(args []string) error {
 	fs := flag.NewFlagSet("figures check", flag.ContinueOnError)
 	var (
-		manifestF = fs.String("manifest", "experiments/manifest.json", "experiments manifest to verify against")
-		workDir   = fs.String("work", "", "keep per-entry scratch results under this directory (default: private temp dir, removed)")
-		maxWall   = fs.Duration("max-wall", 0, "skip the re-run of entries whose approx_wall_s exceeds this (digests still verified); 0 re-runs everything")
-		workers   = fs.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
-		shards    = fs.Int("shards", 0, "network shards per re-run replication: 1 serial, 0 auto, N explicit (recorded artefacts must reproduce byte-identically at any value)")
-		update    = fs.Bool("update", false, "re-pin the manifest digests from the committed artefacts and rewrite the manifest (no re-run)")
-		jsonOut   = fs.Bool("json", false, "emit the structured per-entry results as JSON on stdout")
-		verbose   = fs.Bool("v", false, "stream re-run progress to stderr")
-		corrupt   = fs.String("corrupt-fresh", "", "negative-path self-test: flip one byte of the freshly produced 'export' or 'report' before comparing (must FAIL)")
+		manifestF  = fs.String("manifest", "experiments/manifest.json", "experiments manifest to verify against")
+		workDir    = fs.String("work", "", "keep per-entry scratch results under this directory (default: private temp dir, removed)")
+		maxWall    = fs.Duration("max-wall", 0, "skip the re-run of entries whose approx_wall_s exceeds this (digests still verified); 0 re-runs everything")
+		workers    = fs.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
+		shards     = fs.Int("shards", 0, "network shards per re-run replication: 1 serial, 0 auto, N explicit (recorded artefacts must reproduce byte-identically at any value)")
+		update     = fs.Bool("update", false, "re-pin the manifest digests from the committed artefacts and rewrite the manifest (no re-run)")
+		jsonOut    = fs.Bool("json", false, "emit the structured per-entry results as JSON on stdout")
+		verbose    = fs.Bool("v", false, "stream re-run progress to stderr")
+		corrupt    = fs.String("corrupt-fresh", "", "negative-path self-test: flip one byte of the freshly produced 'export' or 'report' before comparing (must FAIL)")
+		metricsOut = fs.String("metrics-out", "", "instrument the re-runs and write the pooled metrics snapshot to this JSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +59,9 @@ func checkCmd(args []string) error {
 
 	ids := fs.Args()
 	opts := verify.Options{WorkDir: *workDir, MaxWall: *maxWall, CorruptFresh: *corrupt, Shards: *shards}
+	if *metricsOut != "" {
+		opts.Metrics = obs.NewRegistry()
+	}
 	if *verbose {
 		var lastPrint time.Time
 		opts.Progress = func(p sweep.Progress) {
@@ -72,6 +77,12 @@ func checkCmd(args []string) error {
 	rs, err := verify.Check(m, ids, opts)
 	if err != nil {
 		return err
+	}
+	if *metricsOut != "" {
+		if err := obs.WriteSnapshotFile(opts.Metrics, *metricsOut); err != nil {
+			return fmt.Errorf("check: metrics snapshot: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics snapshot %s\n", *metricsOut)
 	}
 	if *jsonOut {
 		b, err := json.MarshalIndent(rs, "", "  ")

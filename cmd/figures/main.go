@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"flexvc/internal/campaign"
+	"flexvc/internal/obs"
 	"flexvc/internal/results"
 	"flexvc/internal/sim"
 	"flexvc/internal/stats"
@@ -197,19 +198,20 @@ func gitRevision() string {
 func runCmd(args []string) error {
 	fs := flag.NewFlagSet("figures run", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "", "experiments to run: comma-separated IDs or 'all'")
-		campaignF = fs.String("campaign", "", "campaign spec to run: a JSON file or an embedded spec name (see `figures list`)")
-		scale     = fs.String("scale", "", "system scale: small, medium or paper (campaign specs may set their own default)")
-		seeds     = fs.Int("seeds", 0, "independent replications per point (the paper uses 5; campaign specs may set their own default)")
-		parallel  = fs.Int("parallel", 0, "cap on sweep points in flight (0 = unbounded; a memory guard)")
-		workers   = fs.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
-		shards    = fs.Int("shards", 0, "network shards per replication: 1 serial, 0 auto, N explicit (bit-identical at any value)")
-		quick     = fs.Bool("quick", false, "trim sweeps for a fast smoke run")
-		resDir    = fs.String("results", "", "results directory (required): checkpoints + exported results JSON")
-		revision  = fs.String("revision", "", "source revision to stamp into the results (default: git rev-parse)")
-		manAdd    = fs.Bool("manifest-add", false, "after recording, render report.md next to the export and register a digest-pinned entry in -manifest (entry id = the results directory name)")
-		manifestF = fs.String("manifest", "experiments/manifest.json", "experiments manifest -manifest-add appends to (recordings under its directory without an entry get a reminder)")
-		notes     = fs.String("notes", "", "free-form provenance to record in the manifest entry (with -manifest-add)")
+		exp        = fs.String("exp", "", "experiments to run: comma-separated IDs or 'all'")
+		campaignF  = fs.String("campaign", "", "campaign spec to run: a JSON file or an embedded spec name (see `figures list`)")
+		scale      = fs.String("scale", "", "system scale: small, medium or paper (campaign specs may set their own default)")
+		seeds      = fs.Int("seeds", 0, "independent replications per point (the paper uses 5; campaign specs may set their own default)")
+		parallel   = fs.Int("parallel", 0, "cap on sweep points in flight (0 = unbounded; a memory guard)")
+		workers    = fs.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
+		shards     = fs.Int("shards", 0, "network shards per replication: 1 serial, 0 auto, N explicit (bit-identical at any value)")
+		quick      = fs.Bool("quick", false, "trim sweeps for a fast smoke run")
+		resDir     = fs.String("results", "", "results directory (required): checkpoints + exported results JSON")
+		revision   = fs.String("revision", "", "source revision to stamp into the results (default: git rev-parse)")
+		manAdd     = fs.Bool("manifest-add", false, "after recording, render report.md next to the export and register a digest-pinned entry in -manifest (entry id = the results directory name)")
+		manifestF  = fs.String("manifest", "experiments/manifest.json", "experiments manifest -manifest-add appends to (recordings under its directory without an entry get a reminder)")
+		notes      = fs.String("notes", "", "free-form provenance to record in the manifest entry (with -manifest-add)")
+		metricsOut = fs.String("metrics-out", "", "instrument the run and write the metrics snapshot to this JSON file (exports stay byte-identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -244,6 +246,11 @@ func runCmd(args []string) error {
 	}
 	if *workers > 0 {
 		sim.SetWorkerBudget(*workers)
+	}
+	var metrics *obs.Registry
+	if *metricsOut != "" {
+		metrics = obs.NewRegistry()
+		store.SetMetrics(metrics)
 	}
 	if prior := store.Len(); prior > 0 {
 		fmt.Fprintf(os.Stderr, "resuming: %d replications already recorded in %s\n", prior, *resDir)
@@ -286,8 +293,15 @@ func runCmd(args []string) error {
 			Quick:       *quick,
 			Shards:      *shards,
 			Results:     store,
+			Metrics:     metrics,
 			Progress: func(p sweep.Progress) {
 				final = p
+				if p.Summary {
+					fmt.Fprintf(os.Stderr, "%s summary: %d replications (%d restored, %d simulated) in %s, %.1f records/s\n",
+						id, p.Done, p.Skipped, p.Done-p.Skipped,
+						p.Elapsed.Round(time.Millisecond), p.RecordsPerSec)
+					return
+				}
 				if p.Done != p.Total && time.Since(lastPrint) < time.Second {
 					return
 				}
@@ -316,12 +330,22 @@ func runCmd(args []string) error {
 			id, final.Done, final.Skipped, time.Since(start).Round(time.Millisecond), path)
 		if *manAdd {
 			entryID := filepath.Base(filepath.Clean(*resDir))
-			if err := manifestAppend(*manifestF, entryID, spec, *campaignF, id, path, expScale, expSeeds, *quick, store.WallTotal(), *notes); err != nil {
+			var snap *obs.Snapshot
+			if metrics != nil {
+				snap = metrics.Snapshot()
+			}
+			if err := manifestAppend(*manifestF, entryID, spec, *campaignF, id, path, expScale, expSeeds, *quick, store.WallTotal(), snap, *notes); err != nil {
 				return fmt.Errorf("%s: -manifest-add: %w", id, err)
 			}
 		} else {
 			manifestHint(*manifestF, path)
 		}
+	}
+	if metrics != nil {
+		if err := obs.WriteSnapshotFile(metrics, *metricsOut); err != nil {
+			return fmt.Errorf("run: metrics snapshot: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics snapshot %s\n", *metricsOut)
 	}
 	fmt.Printf("results directory %s now holds %d replications (%s of simulation)\n",
 		*resDir, store.Len(), store.WallTotal().Round(time.Second))

@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"flexvc/internal/campaign"
+	"flexvc/internal/obs"
 	"flexvc/internal/results"
+	"flexvc/internal/sim"
 	"flexvc/internal/sweep"
 	"flexvc/internal/verify"
 )
@@ -27,7 +29,7 @@ import (
 // entry id is the results directory's base name (the layout convention the
 // manifest documents), and the registration fails if that id is already
 // taken — updating an existing recording is `figures check -update`'s job.
-func manifestAppend(manifestPath, id string, spec *campaign.Campaign, campaignArg, experiment, exportPath, scale string, seeds int, quick bool, simWall time.Duration, notes string) error {
+func manifestAppend(manifestPath, id string, spec *campaign.Campaign, campaignArg, experiment, exportPath, scale string, seeds int, quick bool, simWall time.Duration, metrics *obs.Snapshot, notes string) error {
 	m, err := verify.LoadManifest(manifestPath)
 	if err != nil {
 		if !os.IsNotExist(err) {
@@ -76,6 +78,14 @@ func manifestAppend(manifestPath, id string, spec *campaign.Campaign, campaignAr
 		ApproxWallS: math.Ceil(simWall.Seconds()),
 		Notes:       notes,
 	}
+	// A metrics snapshot (figures run -metrics-out) carries this machine's
+	// measured per-replication wall, which beats the store's summed walls when
+	// the recording restored checkpoints made on different hardware: the
+	// stored walls are then stale provenance, the snapshot is a fresh
+	// measurement (see DESIGN.md, "Observability").
+	if w, ok := metricsApproxWall(metrics); ok {
+		e.ApproxWallS = w
+	}
 	if spec != nil {
 		e.Kind = "campaign"
 		if e.Campaign, err = campaignRef(m.Dir(), campaignArg); err != nil {
@@ -108,6 +118,25 @@ func manifestAppend(manifestPath, id string, spec *campaign.Campaign, campaignAr
 	fmt.Printf("%s: registered entry %q (approx re-run wall %.0fs); `figures check %s` now guards it\n",
 		manifestPath, id, e.ApproxWallS, id)
 	return nil
+}
+
+// metricsApproxWall extrapolates an entry's one-core re-run cost from a run's
+// metrics snapshot: the measured mean fresh-replication wall times the total
+// record count (fresh + restored). It reports false when the snapshot holds
+// no fresh replications — with nothing simulated on this machine there is no
+// measurement to extrapolate from, and the store's summed walls stand.
+func metricsApproxWall(snap *obs.Snapshot) (float64, bool) {
+	if snap == nil {
+		return 0, false
+	}
+	fresh := snap.Counters[sweep.MetricReplicationsSimulated]
+	restored := snap.Counters[sweep.MetricReplicationsRestored]
+	wallNS := snap.Histograms[sim.MetricReplicationWall].Sum
+	if fresh <= 0 || wallNS <= 0 {
+		return 0, false
+	}
+	mean := float64(wallNS) / float64(fresh)
+	return math.Ceil(mean * float64(fresh+restored) / float64(time.Second)), true
 }
 
 // campaignRef turns the -campaign argument into the manifest's campaign

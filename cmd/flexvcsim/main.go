@@ -20,6 +20,7 @@ import (
 	"flexvc/internal/campaign"
 	"flexvc/internal/config"
 	"flexvc/internal/core"
+	"flexvc/internal/obs"
 	"flexvc/internal/results"
 	"flexvc/internal/routing"
 	"flexvc/internal/scenario"
@@ -38,32 +39,33 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("flexvcsim", flag.ContinueOnError)
 	var (
-		scale    = fs.String("scale", "", "system scale: tiny, small (default), medium or paper (campaign specs may set their own default)")
-		traffic  = fs.String("traffic", "un", "traffic pattern: un, adv or bursty-un")
-		reactive = fs.Bool("reactive", false, "enable request-reply traffic")
-		routingF = fs.String("routing", "min", "routing: min, val, par or pb")
-		sensing  = fs.String("sensing", "per-vc", "PB congestion sensing: per-port or per-vc")
-		policy   = fs.String("policy", "baseline", "VC management: baseline or flexvc")
-		minCred  = fs.Bool("mincred", false, "enable FlexVC-minCred credit accounting")
-		vcs      = fs.String("vcs", "2/1", "VCs as local/global (single-class traffic)")
-		reqVCs   = fs.String("reqvcs", "", "request VCs as local/global (reactive traffic)")
-		repVCs   = fs.String("repvcs", "", "reply VCs as local/global (reactive traffic)")
-		selFn    = fs.String("select", "jsq", "FlexVC VC selection: jsq, highest, lowest or random")
-		bufOrg   = fs.String("buffers", "static", "buffer organisation: static or damq")
-		damqPriv = fs.Float64("damq-private", 0.75, "DAMQ private fraction per VC")
-		load     = fs.Float64("load", 0.5, "offered load in phits/node/cycle")
-		scenF    = fs.String("scenario", "", "JSON scenario file: a phased workload that overrides -traffic/-load and reports windowed transient telemetry")
-		campF    = fs.String("campaign", "", "campaign spec (JSON file or embedded name): run one of its variants instead of building a config from flags")
-		campSec  = fs.String("section", "", "campaign section title (default: the first section)")
-		campVar  = fs.String("variant", "", "campaign variant label (required with -campaign; pass an empty spec to list)")
-		seeds    = fs.Int("seeds", 1, "number of independent replications to average")
-		speedup  = fs.Int("speedup", 0, "router speedup override (0 keeps the scale default)")
-		seed     = fs.Int64("seed", 1, "base random seed")
-		workers  = fs.Int("workers", 0, "concurrent replication workers (0 = GOMAXPROCS)")
-		shards   = fs.Int("shards", 0, "network shards per replication: 1 serial, 0 auto, N explicit (bit-identical at any value)")
-		tableMB  = fs.Int("route-table-mb", 0, "memory budget for precomputed route tables in MiB (0 = default, negative disables)")
-		out      = fs.String("out", "", "write the result as machine-readable JSON (internal/results schema) to this file")
-		verbose  = fs.Bool("v", false, "print per-replication results")
+		scale      = fs.String("scale", "", "system scale: tiny, small (default), medium or paper (campaign specs may set their own default)")
+		traffic    = fs.String("traffic", "un", "traffic pattern: un, adv or bursty-un")
+		reactive   = fs.Bool("reactive", false, "enable request-reply traffic")
+		routingF   = fs.String("routing", "min", "routing: min, val, par or pb")
+		sensing    = fs.String("sensing", "per-vc", "PB congestion sensing: per-port or per-vc")
+		policy     = fs.String("policy", "baseline", "VC management: baseline or flexvc")
+		minCred    = fs.Bool("mincred", false, "enable FlexVC-minCred credit accounting")
+		vcs        = fs.String("vcs", "2/1", "VCs as local/global (single-class traffic)")
+		reqVCs     = fs.String("reqvcs", "", "request VCs as local/global (reactive traffic)")
+		repVCs     = fs.String("repvcs", "", "reply VCs as local/global (reactive traffic)")
+		selFn      = fs.String("select", "jsq", "FlexVC VC selection: jsq, highest, lowest or random")
+		bufOrg     = fs.String("buffers", "static", "buffer organisation: static or damq")
+		damqPriv   = fs.Float64("damq-private", 0.75, "DAMQ private fraction per VC")
+		load       = fs.Float64("load", 0.5, "offered load in phits/node/cycle")
+		scenF      = fs.String("scenario", "", "JSON scenario file: a phased workload that overrides -traffic/-load and reports windowed transient telemetry")
+		campF      = fs.String("campaign", "", "campaign spec (JSON file or embedded name): run one of its variants instead of building a config from flags")
+		campSec    = fs.String("section", "", "campaign section title (default: the first section)")
+		campVar    = fs.String("variant", "", "campaign variant label (required with -campaign; pass an empty spec to list)")
+		seeds      = fs.Int("seeds", 1, "number of independent replications to average")
+		speedup    = fs.Int("speedup", 0, "router speedup override (0 keeps the scale default)")
+		seed       = fs.Int64("seed", 1, "base random seed")
+		workers    = fs.Int("workers", 0, "concurrent replication workers (0 = GOMAXPROCS)")
+		shards     = fs.Int("shards", 0, "network shards per replication: 1 serial, 0 auto, N explicit (bit-identical at any value)")
+		tableMB    = fs.Int("route-table-mb", 0, "memory budget for precomputed route tables in MiB (0 = default, negative disables)")
+		out        = fs.String("out", "", "write the result as machine-readable JSON (internal/results schema) to this file")
+		metricsOut = fs.String("metrics-out", "", "instrument the run and write the metrics snapshot (phase walls, shard balance) to this JSON file")
+		verbose    = fs.Bool("v", false, "print per-replication results")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -141,6 +143,9 @@ func run(args []string) error {
 		cfg.Speedup = *speedup
 	}
 	cfg.Shards = *shards
+	if *metricsOut != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -178,6 +183,12 @@ func run(args []string) error {
 			return fmt.Errorf("writing %s: %w", *out, err)
 		}
 		fmt.Printf("  wrote %s\n", *out)
+	}
+	if *metricsOut != "" {
+		if err := obs.WriteSnapshotFile(cfg.Metrics, *metricsOut); err != nil {
+			return fmt.Errorf("writing %s: %w", *metricsOut, err)
+		}
+		fmt.Printf("  wrote metrics snapshot %s\n", *metricsOut)
 	}
 	return nil
 }

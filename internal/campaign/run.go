@@ -46,6 +46,7 @@ func Run(c *Campaign, opts sweep.Options) (*sweep.Report, error) {
 			Series: series,
 		})
 	}
+	runner.Finish()
 	rep.Notes = append(rep.Notes, c.Notes...)
 	scale := opts.Scale
 	if scale == "" {

@@ -38,14 +38,16 @@ import (
 	"sync"
 	"time"
 
+	"flexvc/internal/obs"
 	"flexvc/internal/sweep"
 )
 
 // Event is one NDJSON message of a campaign's progress stream: worker
-// progress lines while replications finish, then exactly one terminal
-// "done" or "error" line per stream.
+// progress lines while replications finish, one "summary" line per worker
+// run, optionally a "metrics" line carrying the worker's registry snapshot,
+// then exactly one terminal "done" or "error" line per stream.
 type Event struct {
-	// Type is "progress", "done" or "error".
+	// Type is "progress", "summary", "metrics", "done" or "error".
 	Type string `json:"type"`
 	// Campaign is the campaign (experiment) name.
 	Campaign string `json:"campaign,omitempty"`
@@ -62,6 +64,12 @@ type Event struct {
 	Total     int    `json:"total,omitempty"`
 	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
 	EtaMS     int64  `json:"eta_ms,omitempty"`
+	// RecordsPerSec is the measured fresh-simulation throughput (progress
+	// and summary events; zero until a fresh replication completes).
+	RecordsPerSec float64 `json:"records_per_sec,omitempty"`
+	// Metrics is the emitting worker's full registry snapshot (Type ==
+	// "metrics"); the coordinator merges it into its own registry.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 	// Export is the results file path (Type == "done", coordinator streams
 	// only).
 	Export string `json:"export,omitempty"`
@@ -69,18 +77,24 @@ type Event struct {
 	Error string `json:"error,omitempty"`
 }
 
-// progressEvent converts one sweep progress callback into an event.
+// progressEvent converts one sweep progress callback into an event; the
+// run's final Summary callback becomes a "summary" event.
 func progressEvent(worker string, p sweep.Progress) Event {
+	typ := "progress"
+	if p.Summary {
+		typ = "summary"
+	}
 	return Event{
-		Type:      "progress",
-		Campaign:  p.Experiment,
-		Worker:    worker,
-		Section:   p.Section,
-		Done:      p.Done,
-		Skipped:   p.Skipped,
-		Total:     p.Total,
-		ElapsedMS: p.Elapsed.Milliseconds(),
-		EtaMS:     p.ETA.Milliseconds(),
+		Type:          typ,
+		Campaign:      p.Experiment,
+		Worker:        worker,
+		Section:       p.Section,
+		Done:          p.Done,
+		Skipped:       p.Skipped,
+		Total:         p.Total,
+		ElapsedMS:     p.Elapsed.Milliseconds(),
+		EtaMS:         p.ETA.Milliseconds(),
+		RecordsPerSec: p.RecordsPerSec,
 	}
 }
 
@@ -108,6 +122,17 @@ func FormatEvent(ev Event) string {
 			ev.Campaign, ev.Worker, ev.Section, ev.Done, ev.Total, ev.Skipped,
 			(time.Duration(ev.ElapsedMS) * time.Millisecond).Round(time.Second),
 			(time.Duration(ev.EtaMS) * time.Millisecond).Round(time.Second))
+	case "summary":
+		return fmt.Sprintf("%s %s summary: %d replications (%d restored) in %s, %.1f records/s",
+			ev.Campaign, ev.Worker, ev.Done, ev.Skipped,
+			(time.Duration(ev.ElapsedMS) * time.Millisecond).Round(time.Second),
+			ev.RecordsPerSec)
+	case "metrics":
+		n := 0
+		if ev.Metrics != nil {
+			n = len(ev.Metrics.Counters) + len(ev.Metrics.Gauges) + len(ev.Metrics.Values) + len(ev.Metrics.Histograms)
+		}
+		return fmt.Sprintf("%s %s metrics snapshot (%d series)", ev.Campaign, ev.Worker, n)
 	case "done":
 		if ev.Export != "" {
 			return fmt.Sprintf("%s done -> %s", ev.Campaign, ev.Export)

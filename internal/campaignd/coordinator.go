@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"flexvc/internal/campaign"
+	"flexvc/internal/obs"
 	"flexvc/internal/results"
 	"flexvc/internal/sweep"
 )
@@ -61,6 +63,13 @@ type Coordinator struct {
 	// OnEvent, when non-nil, receives every worker event plus the terminal
 	// coordinator event, serialized.
 	OnEvent func(Event)
+	// Metrics, when non-nil, receives the run's observability: each worker's
+	// terminal snapshot is merged in (counters add, gauges max — see
+	// obs.Registry.Merge), and the final restore pass instruments into it
+	// directly. The campaignd server passes its /metrics registry here.
+	Metrics *obs.Registry
+	// Logger receives structured diagnostics (nil: silent).
+	Logger *slog.Logger
 
 	emitMu sync.Mutex
 }
@@ -174,10 +183,12 @@ func (co *Coordinator) Run() (string, error) {
 	if err := co.Spec.Validate(); err != nil {
 		return "", err
 	}
+	log := logger(co.Logger).With("campaign", co.Spec.Name)
 	specPath, err := co.writeJobSpec()
 	if err != nil {
 		return "", err
 	}
+	log.Info("campaign starting", "workers", co.Workers, "results", co.ResultsDir, "spec", specPath)
 
 	buildCmd := co.WorkerCommand
 	if buildCmd == nil {
@@ -204,6 +215,8 @@ func (co *Coordinator) Run() (string, error) {
 		if err := cmd.Start(); err != nil {
 			return "", fmt.Errorf("campaignd: starting worker %d: %w", i, err)
 		}
+		log.Info("worker spawned", "worker", fmt.Sprintf("w%d", i), "pid", cmd.Process.Pid)
+		co.Metrics.Counter(MetricWorkersSpawned).Inc()
 		procs[i] = wp
 		readers.Add(1)
 		go func() {
@@ -214,6 +227,11 @@ func (co *Coordinator) Run() (string, error) {
 				var ev Event
 				if json.Unmarshal(sc.Bytes(), &ev) != nil {
 					continue // non-event noise on a worker's stdout
+				}
+				if ev.Type == "metrics" && ev.Metrics != nil {
+					if err := co.Metrics.Merge(ev.Metrics); err != nil {
+						log.Error("merging worker metrics", "worker", ev.Worker, "err", err)
+					}
 				}
 				co.emit(ev)
 			}
@@ -239,6 +257,8 @@ func (co *Coordinator) Run() (string, error) {
 			if co.countRecords() >= co.KillAfterRecords {
 				if err := procs[0].cmd.Process.Kill(); err == nil {
 					killed = 0
+					co.Metrics.Counter(MetricWorkersKilled).Inc()
+					log.Warn("chaos hook fired", "worker", "w0", "after_records", co.KillAfterRecords)
 					co.emit(Event{Type: "error", Campaign: co.Spec.Name, Worker: "w0",
 						Error: fmt.Sprintf("SIGKILLed by coordinator after %d records (chaos hook)", co.KillAfterRecords)})
 				}
@@ -262,6 +282,8 @@ func (co *Coordinator) Run() (string, error) {
 				msg += ": " + s
 			}
 			workerErrs = append(workerErrs, msg)
+			co.Metrics.Counter(MetricWorkerFailures).Inc()
+			log.Error("worker failed", "worker", fmt.Sprintf("w%d", i), "err", err)
 			co.emit(Event{Type: "error", Campaign: co.Spec.Name, Worker: fmt.Sprintf("w%d", i), Error: msg})
 		}
 	}
@@ -279,11 +301,15 @@ func (co *Coordinator) Run() (string, error) {
 	if co.Revision != "" {
 		store.SetRevision(co.Revision)
 	}
+	if co.Metrics != nil {
+		store.SetMetrics(co.Metrics)
+	}
 	opts := sweep.Options{
 		Scale:   co.Scale,
 		Seeds:   co.Seeds,
 		Quick:   co.Quick,
 		Results: store,
+		Metrics: co.Metrics,
 	}
 	if co.OnEvent != nil {
 		opts.Progress = func(p sweep.Progress) { co.emit(progressEvent("final", p)) }
@@ -298,6 +324,7 @@ func (co *Coordinator) Run() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	log.Info("campaign done", "export", path, "worker_errors", len(workerErrs))
 	co.emit(Event{Type: "done", Campaign: co.Spec.Name, Export: path})
 	return path, nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os/exec"
 	"strconv"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"flexvc/internal/campaign"
+	"flexvc/internal/obs"
 )
 
 // Server is the HTTP front end of the campaign service: POST a campaign spec
@@ -43,6 +45,12 @@ type Server struct {
 	Poll          time.Duration
 	Revision      string
 	WorkerCommand func(i int, specPath string) (*exec.Cmd, error)
+	// Metrics, when non-nil, is served as Prometheus text on GET /metrics
+	// and passed to every campaign's Coordinator, so worker snapshots and
+	// final-pass instrumentation pool across submissions.
+	Metrics *obs.Registry
+	// Logger receives structured diagnostics (nil: silent).
+	Logger *slog.Logger
 
 	mu   sync.Mutex
 	seq  int
@@ -110,7 +118,20 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/campaigns", s.handleCampaigns)
 	mux.HandleFunc("/api/campaigns/", s.handleCampaign)
+	if s.Metrics != nil {
+		mux.HandleFunc("/metrics", s.handleMetrics)
+	}
 	return mux
+}
+
+// handleMetrics serves the pooled registry as Prometheus exposition text.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.Metrics.WritePrometheus(w)
 }
 
 func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
@@ -179,6 +200,8 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		Poll:          s.Poll,
 		Revision:      s.Revision,
 		WorkerCommand: s.WorkerCommand,
+		Metrics:       s.Metrics,
+		Logger:        s.Logger,
 	}
 
 	s.mu.Lock()
@@ -195,9 +218,18 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	s.jobs[id] = job
 	s.mu.Unlock()
 
+	log := logger(s.Logger)
+	log.Info("campaign submitted", "id", id, "campaign", spec.Name, "workers", workers)
 	co.OnEvent = job.publish
 	go func() {
 		export, err := co.Run()
+		if err != nil {
+			s.Metrics.Counter(MetricCampaignsFailed).Inc()
+			log.Error("campaign failed", "id", id, "err", err)
+		} else {
+			s.Metrics.Counter(MetricCampaignsDone).Inc()
+			log.Info("campaign finished", "id", id, "export", export)
+		}
 		job.finish(export, err)
 	}()
 	writeJSON(w, http.StatusAccepted, job.snapshot())

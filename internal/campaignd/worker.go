@@ -3,9 +3,11 @@ package campaignd
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"time"
 
 	"flexvc/internal/campaign"
+	"flexvc/internal/obs"
 	"flexvc/internal/results"
 	"flexvc/internal/sim"
 	"flexvc/internal/sweep"
@@ -36,6 +38,12 @@ type WorkerConfig struct {
 	Poll     time.Duration
 	// Events receives the worker's NDJSON event stream (nil: no events).
 	Events io.Writer
+	// MetricsOut, when non-empty, is a file path the worker writes its final
+	// obs registry snapshot to (JSON; see obs.WriteSnapshotFile).
+	MetricsOut string
+	// Logger receives structured diagnostics (nil: silent). Workers log to
+	// stderr — stdout is reserved for the NDJSON event stream.
+	Logger *slog.Logger
 }
 
 // RunWorker executes one worker of a sharded campaign run: it compiles the
@@ -46,6 +54,7 @@ type WorkerConfig struct {
 // the run produces is discarded (rendering happens from the export, which
 // the coordinator writes once the campaign is complete).
 func RunWorker(wc WorkerConfig) error {
+	log := logger(wc.Logger).With("worker", wc.Owner)
 	spec, err := campaign.Load(wc.SpecPath)
 	if err != nil {
 		return err
@@ -57,6 +66,11 @@ func RunWorker(wc WorkerConfig) error {
 	if wc.SimWorkers > 0 {
 		sim.SetWorkerBudget(wc.SimWorkers)
 	}
+	// Every worker carries a registry: it instruments only wall-clock
+	// accounting (never simulated state — see the obs zero-impact contract),
+	// and its snapshot rides the event stream up to the coordinator.
+	reg := obs.NewRegistry()
+	store.SetMetrics(reg)
 	var ew *eventWriter
 	if wc.Events != nil {
 		ew = newEventWriter(wc.Events)
@@ -66,16 +80,30 @@ func RunWorker(wc WorkerConfig) error {
 		Seeds:   wc.Seeds,
 		Quick:   wc.Quick,
 		Results: store,
+		Metrics: reg,
 		Claims: &sweep.ClaimConfig{
 			Owner: wc.Owner,
 			TTL:   wc.LeaseTTL,
 			Poll:  wc.Poll,
 		},
 	}
-	if ew != nil {
-		opts.Progress = func(p sweep.Progress) { ew.emit(progressEvent(wc.Owner, p)) }
+	opts.Progress = func(p sweep.Progress) {
+		if p.Summary {
+			// The per-worker throughput series carries the worker label so
+			// it survives the coordinator's max-merge alongside its peers'.
+			reg.SetValue(fmt.Sprintf("%s{worker=%q}", MetricWorkerRecordsPerSec, wc.Owner), p.RecordsPerSec)
+			log.Info("campaign summary", "campaign", p.Experiment,
+				"records", p.Done, "restored", p.Skipped,
+				"elapsed", p.Elapsed.Round(time.Millisecond), "records_per_sec", p.RecordsPerSec)
+		}
+		if ew != nil {
+			ew.emit(progressEvent(wc.Owner, p))
+		}
 	}
+	log.Info("worker starting", "campaign", spec.Name, "spec", wc.SpecPath,
+		"results", wc.ResultsDir, "sim_workers", wc.SimWorkers)
 	if _, err := campaign.Run(spec, opts); err != nil {
+		log.Error("campaign run failed", "campaign", spec.Name, "err", err)
 		if ew != nil {
 			ew.emit(Event{Type: "error", Campaign: spec.Name, Worker: wc.Owner, Error: err.Error()})
 		}
@@ -84,8 +112,17 @@ func RunWorker(wc WorkerConfig) error {
 	if err := store.Flush(); err != nil {
 		return err
 	}
+	snap := reg.Snapshot()
+	if wc.MetricsOut != "" {
+		if err := obs.WriteSnapshotFile(reg, wc.MetricsOut); err != nil {
+			log.Error("writing metrics snapshot", "path", wc.MetricsOut, "err", err)
+			return fmt.Errorf("campaignd worker %s: metrics snapshot: %w", wc.Owner, err)
+		}
+	}
 	if ew != nil {
+		ew.emit(Event{Type: "metrics", Campaign: spec.Name, Worker: wc.Owner, Metrics: snap})
 		ew.emit(Event{Type: "done", Campaign: spec.Name, Worker: wc.Owner})
 	}
+	log.Info("worker done", "campaign", spec.Name)
 	return nil
 }

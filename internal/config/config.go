@@ -6,6 +6,7 @@ import (
 
 	"flexvc/internal/buffer"
 	"flexvc/internal/core"
+	"flexvc/internal/obs"
 	"flexvc/internal/routing"
 	"flexvc/internal/scenario"
 	"flexvc/internal/topology"
@@ -164,6 +165,15 @@ type Config struct {
 	// checkpoint identities and exports must not depend on how many cores
 	// executed the run.
 	Shards int `json:"-"`
+
+	// Metrics is the observability registry the run reports into (nil
+	// disables instrumentation entirely; see internal/obs). Like Shards it
+	// is an execution knob, not part of the experiment identity: metrics
+	// only observe the run, they never influence simulated state, and the
+	// field is excluded from the JSON form so fingerprints, checkpoint
+	// identities and exports are byte-identical with metrics on or off
+	// (locked by TestMetricsExportInvariant).
+	Metrics *obs.Registry `json:"-"`
 
 	// --- Simulation control ---
 	WarmupCycles  int64

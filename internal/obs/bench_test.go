@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The disabled-path benchmarks are gated in BENCH_baseline.json: the whole
+// point of the nil-registry design is that instrumented hot paths cost one
+// pointer compare and zero allocations when metrics are off, and these
+// benches fail the bench gate if a refactor regresses that.
+
+func BenchmarkObsCounterDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("c_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkObsHistogramDisabled(b *testing.B) {
+	var r *Registry
+	h := r.Histogram("h_ns")
+	var start time.Time // nil Since must not even read the clock
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Since(start)
+	}
+}
+
+func BenchmarkObsCounterEnabled(b *testing.B) {
+	c := NewRegistry().Counter("c_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkObsHistogramEnabled(b *testing.B) {
+	h := NewRegistry().Histogram("h_ns")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkObsGaugeSetMaxEnabled(b *testing.B) {
+	g := NewRegistry().Gauge("hwm")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.SetMax(int64(i & 1023))
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"flexvc/internal/obs"
 )
 
 // This file is the shard-claim protocol that turns a results directory into
@@ -32,6 +34,9 @@ type Lease struct {
 	path string
 	stop chan struct{}
 	wg   sync.WaitGroup
+	// hb times each mtime refresh (nil when the store has no metrics
+	// registry attached).
+	hb *obs.Histogram
 }
 
 const leasesSubdir = "leases"
@@ -82,7 +87,8 @@ func (s *Store) TryClaim(key Key, owner string, ttl time.Duration) (*Lease, erro
 				_, _ = f.Write(append(b, '\n'))
 			}
 			f.Close()
-			l := &Lease{path: path, stop: make(chan struct{})}
+			s.metrics.claims.Inc()
+			l := &Lease{path: path, stop: make(chan struct{}), hb: s.metrics.heartbeat}
 			l.heartbeat(ttl)
 			return l, nil
 		}
@@ -113,6 +119,7 @@ func (s *Store) TryClaim(key Key, owner string, ttl time.Duration) (*Lease, erro
 			return nil, rerr
 		}
 		_ = os.Remove(tomb)
+		s.metrics.takeovers.Inc()
 	}
 }
 
@@ -121,6 +128,9 @@ func (s *Store) TryClaim(key Key, owner string, ttl time.Duration) (*Lease, erro
 // prove a beat revives an almost-expired lease without racing wall clock
 // against a ticker.
 func (l *Lease) refresh() {
+	if l.hb != nil {
+		defer l.hb.Since(time.Now())
+	}
 	now := time.Now()
 	_ = os.Chtimes(l.path, now, now)
 }

@@ -34,6 +34,9 @@ type Store struct {
 	// manifest is advisory — Open regenerates it from records/ — so it is
 	// rewritten at most once per manifestEvery puts plus on Flush).
 	manifestDirty int
+	// metrics holds the observability handles (zero value: disabled). See
+	// SetMetrics in metrics.go.
+	metrics storeMetrics
 }
 
 type storedRecord struct {
@@ -164,6 +167,9 @@ func (s *Store) Get(key Key, fingerprint string) (Record, bool) {
 // are overwritten in place), then the manifest is refreshed. After Put
 // returns, a crash cannot lose the replication.
 func (s *Store) Put(rec Record, wall time.Duration) error {
+	if h := s.metrics.putLatency; h != nil {
+		defer h.Since(time.Now())
+	}
 	rec.Schema = SchemaVersion
 	if err := rec.Validate(); err != nil {
 		return err
@@ -180,6 +186,7 @@ func (s *Store) Put(rec Record, wall time.Duration) error {
 	defer s.mu.Unlock()
 	s.recs[rec.Key()] = storedRecord{rec: rec, file: name, wallMS: float64(wall) / float64(time.Millisecond)}
 	s.active[rec.Key()] = true
+	s.metrics.records.Set(int64(len(s.recs)))
 	// The record file above is the durable checkpoint; the manifest is a
 	// regenerable summary, so amortize its O(records) rewrite instead of
 	// paying it (under the lock) for every replication of a large sweep.
@@ -199,6 +206,9 @@ const manifestEvery = 25
 // the wall-time annotations of the unflushed records, since Open rebuilds
 // the manifest from the record files.
 func (s *Store) Flush() error {
+	if h := s.metrics.flushLatency; h != nil {
+		defer h.Since(time.Now())
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.manifestDirty == 0 {
@@ -245,6 +255,7 @@ func (s *Store) RefreshKey(key Key, fingerprint string) (Record, bool) {
 	defer s.mu.Unlock()
 	s.recs[key] = storedRecord{rec: rec, file: name}
 	s.active[key] = true
+	s.metrics.records.Set(int64(len(s.recs)))
 	s.manifestDirty++
 	return rec, true
 }

@@ -41,6 +41,12 @@ type event struct {
 type eventWheel struct {
 	slots   [][]event
 	horizon int64
+	// count tracks the queued events incrementally (schedule adds, take
+	// subtracts), so the metrics layer can sample the wheel depth without the
+	// O(horizon) scan of pending(). All wheel mutation happens in serial
+	// phases (the sharded loop buffers and flushes serially), so a plain
+	// int64 suffices.
+	count int64
 }
 
 // init sizes the wheel for delays up to maxDelay cycles.
@@ -60,6 +66,7 @@ func (w *eventWheel) schedule(now, delay int64, ev event) {
 	}
 	slot := (now + delay) % w.horizon
 	w.slots[slot] = append(w.slots[slot], ev)
+	w.count++
 }
 
 // take removes and returns the events due at cycle `now`.
@@ -67,6 +74,7 @@ func (w *eventWheel) take(now int64) []event {
 	slot := now % w.horizon
 	evs := w.slots[slot]
 	w.slots[slot] = w.slots[slot][:0]
+	w.count -= int64(len(evs))
 	return evs
 }
 

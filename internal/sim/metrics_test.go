@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"flexvc/internal/config"
+	"flexvc/internal/core"
+	"flexvc/internal/obs"
+	"flexvc/internal/routing"
+)
+
+// TestMetricsExcludedFromIdentity pins that the Metrics registry — like the
+// shard knob — is an execution detail, not part of the experiment identity:
+// the JSON form of a configuration (the input of results.Fingerprint,
+// checkpoint keys and recorded exports) must not change when a registry is
+// attached, or metered runs would orphan the checkpoints of unmetered ones.
+func TestMetricsExcludedFromIdentity(t *testing.T) {
+	plain := config.Small()
+	metered := config.Small()
+	metered.Metrics = obs.NewRegistry()
+	a, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(metered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("Metrics leaks into the config JSON identity:\n plain:   %s\n metered: %s", a, b)
+	}
+}
+
+// TestMeteredRunMatchesSerial is the result-level half of the zero-impact
+// contract: a metered, sharded replication must produce exactly the result of
+// an unmetered serial one — the instrumented stepping path (stepTimed) may
+// add clock reads, never behaviour.
+func TestMeteredRunMatchesSerial(t *testing.T) {
+	cfg := config.Small()
+	cfg.WarmupCycles = 200
+	cfg.MeasureCycles = 800
+	cfg.Shards = 1
+	want, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2} {
+		c := cfg
+		c.Shards = shards
+		c.Metrics = obs.NewRegistry()
+		got, err := RunOne(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("metered run diverged from unmetered serial (shards=%d)", shards)
+		}
+		snap := c.Metrics.Snapshot()
+		if snap.Counters[MetricCycles] == 0 {
+			t.Errorf("shards=%d: no cycles recorded — instrumentation never ran", shards)
+		}
+		if snap.Histograms[MetricReplicationWall].Count != 1 {
+			t.Errorf("shards=%d: replication wall histogram count = %d, want 1",
+				shards, snap.Histograms[MetricReplicationWall].Count)
+		}
+		if shards > 1 {
+			if _, ok := snap.Counters[fmt.Sprintf("%s{shard=%q}", MetricShardBusy, "0")]; !ok {
+				t.Errorf("shards=%d: no per-shard busy series in snapshot", shards)
+			}
+			if _, ok := snap.Values[MetricShardImbalance]; !ok {
+				t.Errorf("shards=%d: no imbalance ratio in snapshot", shards)
+			}
+		}
+	}
+}
+
+// TestMetricsUnderShardedBudgetChurn is the -race proof for the metrics hot
+// path: sharded metered replications hammer one shared registry from every
+// stepping goroutine while the process-wide worker budget churns and scraper
+// goroutines concurrently snapshot and render the registry — and every
+// replication must still be bit-identical to the unmetered serial run.
+func TestMetricsUnderShardedBudgetChurn(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	defer SetWorkerBudget(WorkerBudget())
+
+	cfg := config.Small()
+	cfg.Routing = routing.PAR
+	cfg.Scheme = core.Scheme{Policy: core.FlexVC, VCs: core.SingleClass(5, 2), Selection: core.JSQ}
+	cfg.WarmupCycles = 200
+	cfg.MeasureCycles = 800
+	cfg.Shards = 1
+	want, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() { // budget churn
+		defer aux.Done()
+		size := 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				SetWorkerBudget(size%4 + 1)
+				size++
+			}
+		}
+	}()
+	go func() { // concurrent scraper
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var buf bytes.Buffer
+				_ = reg.WritePrometheus(&buf)
+				_ = reg.Snapshot()
+			}
+		}
+	}()
+
+	const runs = 6
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := cfg
+			c.Shards = i%3 + 2 // 2, 3, 4 shards
+			c.Metrics = reg
+			got, err := RunOne(c)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				errs[i] = fmt.Errorf("metered sharded run diverged from serial under budget churn (shards=%d)", c.Shards)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	if n := reg.Counter(MetricReplications).Value(); n != runs {
+		t.Errorf("registry counted %d replications, want %d", n, runs)
+	}
+}

@@ -68,6 +68,9 @@ type Network struct {
 
 	wheel     eventWheel
 	collector *stats.Collector
+	// metrics holds the pre-resolved observability handles (nil when
+	// cfg.Metrics is nil — the fully disabled state; see metrics.go).
+	metrics *simMetrics
 
 	now       int64
 	inFlight  int64
@@ -170,6 +173,7 @@ func New(cfg config.Config) (*Network, error) {
 	// buffers. Must come after the downInput wiring above — shard
 	// environments delegate downstream lookups to it.
 	n.buildShards(shardPlan(cfg, topo))
+	n.metrics = newSimMetrics(cfg.Metrics, n.Shards())
 
 	n.nodes = make([]nodeState, topo.NumNodes())
 	n.activeRouter = make([]bool, topo.NumRouters())

@@ -62,11 +62,21 @@ func (n *Network) watchdog() bool {
 	return false
 }
 
-// RunOne builds a network for cfg, runs it and returns its summary.
+// RunOne builds a network for cfg, runs it and returns its summary. With a
+// metrics registry attached it also accounts the replication (count + wall
+// histogram) — this is the single funnel every execution path (RunReplication,
+// RunAveraged, tests) goes through.
 func RunOne(cfg config.Config) (stats.Result, error) {
 	n, err := New(cfg)
 	if err != nil {
 		return stats.Result{}, err
+	}
+	if reg := cfg.Metrics; reg != nil {
+		start := time.Now()
+		r := n.Run()
+		reg.Histogram(MetricReplicationWall).Observe(time.Since(start).Nanoseconds())
+		reg.Counter(MetricReplications).Inc()
+		return r, nil
 	}
 	return n.Run(), nil
 }

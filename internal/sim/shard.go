@@ -207,6 +207,11 @@ func (n *Network) acquireShardSlots() func() {
 // are claimed from an atomic counter: the caller's goroutine participates, and
 // up to shardSlots-1 helpers join, so a starved worker budget degrades to the
 // caller stepping every shard itself — same results, less parallelism.
+//
+// With a metrics registry attached the cycle loop runs stepShardedTimed (in
+// metrics.go) instead; this body stays closure-free so the metrics-off path
+// keeps its exact pre-observability instruction stream and allocation count
+// (gated by BenchmarkSmokeSweepSharded).
 func (n *Network) stepSharded() {
 	workers := n.shardSlots
 	if workers > len(n.shards) {

@@ -66,7 +66,17 @@ func (q *pktFIFO) reset() { q.items = q.items[:0]; q.head = 0 }
 // buffers each shard's events and flushes them in ascending shard order,
 // reproducing the identical wheel order. Sharded and serial runs are
 // therefore bit-identical.
+//
+// With a metrics registry attached (config.Metrics) the instrumented twin
+// stepTimed runs instead: identical phase sequence, plus wall-clock reads
+// between phases. Metrics only observe — they never feed back into simulated
+// state — so instrumented and plain runs are bit-identical too (locked by
+// TestMetricsExportInvariant).
 func (n *Network) Step() {
+	if n.metrics != nil {
+		n.stepTimed()
+		return
+	}
 	n.processEvents()
 	n.inject()
 	if n.pb != nil {

@@ -100,7 +100,13 @@ func Run(id string, opts Options) (*Report, error) {
 	if opts.state == nil {
 		opts.state = newRunState()
 	}
-	return exp.Run(opts)
+	rep, err := exp.Run(opts)
+	if err == nil && !exp.Analytic {
+		// The run settled every replication: emit the final summary Progress
+		// event (totals, simulated-vs-restored split, aggregate records/s).
+		opts.state.finish(id, opts.Progress)
+	}
+	return rep, err
 }
 
 // --- analytic tables -------------------------------------------------------

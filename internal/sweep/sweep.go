@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"flexvc/internal/config"
+	"flexvc/internal/obs"
 	"flexvc/internal/results"
 	"flexvc/internal/sim"
 	"flexvc/internal/stats"
@@ -100,6 +101,13 @@ type Options struct {
 	// Progress, when non-nil, is invoked (serially) as replications finish
 	// or are restored from the store.
 	Progress func(Progress)
+	// Metrics, when non-nil, receives the run's observability series: it is
+	// stamped into every simulated configuration (config.Config.Metrics, the
+	// sim-layer phase/shard series) and feeds the sweep-layer counters
+	// (replications simulated vs restored, claim wins, poll waits). Like
+	// Shards it is an execution knob with no effect on results — exports are
+	// byte-identical with metrics on or off.
+	Metrics *obs.Registry
 
 	// experiment and state are stamped by Run so section sweeps know which
 	// experiment they belong to and share progress accounting.
@@ -118,10 +126,21 @@ type Progress struct {
 	// Done counts replications finished in this run; Skipped of them were
 	// restored from the results store rather than simulated.
 	Done, Skipped, Total int
-	Elapsed              time.Duration
+	// Elapsed is the wall time since the run started, read from the
+	// monotonic clock at event emission: it never decreases across the
+	// events of one run, so consumers may difference consecutive events.
+	Elapsed time.Duration
 	// ETA extrapolates from the measured pace of fresh replications; it is
 	// zero until one completes.
 	ETA time.Duration
+	// RecordsPerSec is the measured simulation throughput so far: fresh
+	// (non-restored) replications per second of elapsed wall. Zero until the
+	// first fresh replication completes.
+	RecordsPerSec float64
+	// Summary marks the final event of a run: emitted exactly once after the
+	// last section settles, with the run totals (Done records, Skipped of
+	// them restored, aggregate RecordsPerSec) and no Section/ETA.
+	Summary bool
 }
 
 // ClaimConfig parameterizes shard-claim execution (Options.Claims). The
@@ -176,6 +195,11 @@ func (st *runState) nextSection(count int) int {
 // callback runs under the state lock, so events are serialized; callbacks
 // must be fast and must not re-enter the sweep.
 func (st *runState) note(ck *ckpt, restored bool) {
+	if restored {
+		ck.metrics.restored.Inc()
+	} else {
+		ck.metrics.simulated.Inc()
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.done++
@@ -196,8 +220,35 @@ func (st *runState) note(ck *ckpt, restored bool) {
 	}
 	if fresh := st.done - st.skipped; fresh > 0 {
 		ev.ETA = elapsed / time.Duration(fresh) * time.Duration(st.total-st.done)
+		if elapsed > 0 {
+			ev.RecordsPerSec = float64(fresh) / elapsed.Seconds()
+		}
 	}
 	ck.progress(ev)
+}
+
+// finish emits the run's final summary event (Progress.Summary): the total
+// record count, how many were restored rather than simulated, and the
+// aggregate simulation throughput. Runs with no progress callback skip it.
+func (st *runState) finish(experiment string, progress func(Progress)) {
+	if progress == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	elapsed := time.Since(st.start)
+	ev := Progress{
+		Experiment: experiment,
+		Done:       st.done,
+		Skipped:    st.skipped,
+		Total:      st.total,
+		Elapsed:    elapsed,
+		Summary:    true,
+	}
+	if fresh := st.done - st.skipped; fresh > 0 && elapsed > 0 {
+		ev.RecordsPerSec = float64(fresh) / elapsed.Seconds()
+	}
+	progress(ev)
 }
 
 // DefaultOptions returns the options used by the command-line harness.
@@ -216,6 +267,7 @@ func (o Options) BaseConfig() (config.Config, error) {
 		cfg.MeasureCycles /= 2
 	}
 	cfg.Shards = o.Shards
+	cfg.Metrics = o.Metrics
 	return cfg, nil
 }
 
@@ -279,6 +331,45 @@ type ckpt struct {
 	scale        string
 	progress     func(Progress)
 	state        *runState
+	metrics      sweepMetrics
+}
+
+// Sweep-layer metric names (see DESIGN.md "Observability").
+const (
+	// MetricReplicationsSimulated / MetricReplicationsRestored split every
+	// settled replication of a checkpointed run by provenance.
+	MetricReplicationsSimulated = "flexvc_sweep_replications_simulated_total"
+	MetricReplicationsRestored  = "flexvc_sweep_replications_restored_total"
+	// MetricClaimsWon counts lease claims this worker won (and therefore
+	// simulated); MetricClaimPolls and MetricClaimPollWall account the time
+	// spent parked on keys other workers held.
+	MetricClaimsWon     = "flexvc_sweep_claims_won_total"
+	MetricClaimPolls    = "flexvc_sweep_claim_polls_total"
+	MetricClaimPollWall = "flexvc_sweep_claim_poll_wait_ns_total"
+)
+
+// sweepMetrics carries the sweep-layer handles. The zero value (all-nil
+// handles) is the disabled state — every method on a nil obs handle no-ops —
+// so call sites never branch.
+type sweepMetrics struct {
+	simulated *obs.Counter
+	restored  *obs.Counter
+	claimsWon *obs.Counter
+	polls     *obs.Counter
+	pollWait  *obs.Counter
+}
+
+func newSweepMetrics(reg *obs.Registry) sweepMetrics {
+	if reg == nil {
+		return sweepMetrics{}
+	}
+	return sweepMetrics{
+		simulated: reg.Counter(MetricReplicationsSimulated),
+		restored:  reg.Counter(MetricReplicationsRestored),
+		claimsWon: reg.Counter(MetricClaimsWon),
+		polls:     reg.Counter(MetricClaimPolls),
+		pollWait:  reg.Counter(MetricClaimPollWall),
+	}
 }
 
 // LoadSweep runs every variant across the given offered loads, with the
@@ -462,9 +553,13 @@ func (ck *ckpt) claimReplication(j job, key results.Key, fp string, s int) (stat
 			return stats.Result{}, false, err
 		}
 		if lease == nil {
-			time.Sleep(ck.claims.poll())
+			ck.metrics.polls.Inc()
+			wait := ck.claims.poll()
+			time.Sleep(wait)
+			ck.metrics.pollWait.Add(wait.Nanoseconds())
 			continue
 		}
+		ck.metrics.claimsWon.Inc()
 		r, err := ck.simulate(j, fp, s)
 		lease.Release()
 		return r, false, err
@@ -498,6 +593,7 @@ func (o Options) runSection(title string, base config.Config, variants []Variant
 		scale:        o.scaleName(),
 		progress:     o.Progress,
 		state:        st,
+		metrics:      newSweepMetrics(o.Metrics),
 	}
 	return runSweep(base, variants, loads, o.seeds(), o.parallelism(), ck)
 }
@@ -529,6 +625,14 @@ func (o Options) NewRunner(id string) *SectionRunner {
 // keeps exports deterministic across resumes.
 func (r *SectionRunner) RunSection(title string, base config.Config, variants []Variant, loads []float64) ([]Series, error) {
 	return r.opts.runSection(title, base, variants, loads)
+}
+
+// Finish emits the run's final summary Progress event (totals + aggregate
+// records/s). Call it once, after the last RunSection.
+func (r *SectionRunner) Finish() {
+	if r.opts.state != nil {
+		r.opts.state.finish(r.opts.experiment, r.opts.Progress)
+	}
 }
 
 // EffectiveLoads applies the option-level load override and quick-mode

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"flexvc/internal/campaign"
+	"flexvc/internal/obs"
 	"flexvc/internal/results"
 	"flexvc/internal/sweep"
 )
@@ -117,6 +118,11 @@ type Options struct {
 	// must still reproduce the recorded artefacts byte for byte — running
 	// the checks with Shards > 1 is itself a verification of that contract.
 	Shards int
+	// Metrics, when non-nil, instruments the re-runs into this registry
+	// (phase walls, checkpoint latencies, …). The byte-identity comparison
+	// is unaffected — instrumentation never touches simulated state — so a
+	// metered check doubles as a live test of the zero-impact contract.
+	Metrics *obs.Registry
 }
 
 // Check verifies the given entry ids (nil or ["all"] means every entry) and
@@ -263,6 +269,9 @@ func rerun(m *Manifest, e Entry, scratch, revision string, ropts Options) (expor
 	if revision != "" {
 		store.SetRevision(revision)
 	}
+	if ropts.Metrics != nil {
+		store.SetMetrics(ropts.Metrics)
+	}
 	var final sweep.Progress
 	opts := sweep.Options{
 		Scale:   e.Scale,
@@ -270,6 +279,7 @@ func rerun(m *Manifest, e Entry, scratch, revision string, ropts Options) (expor
 		Quick:   e.Quick,
 		Shards:  ropts.Shards,
 		Results: store,
+		Metrics: ropts.Metrics,
 		Progress: func(p sweep.Progress) {
 			final = p
 			if progress != nil {
