@@ -11,11 +11,11 @@ GO ?= go
 # committed tolerance is 40%: wide enough to absorb the per-core speed
 # spread between the machine that recorded the baseline and shared CI
 # runners, tight enough to catch a real hot-path slowdown.
-BENCH_GATE_PAT  := SmokeSweep|AllowedVCs|RouterStep|InputBufferCycle|Obs
-BENCH_GATE_PKGS := . ./internal/router ./internal/buffer ./internal/obs
+BENCH_GATE_PAT  := SmokeSweep|AllowedVCs|RouterStep|VCActivity|PacketStore|InputBufferCycle|Obs
+BENCH_GATE_PKGS := . ./internal/router ./internal/buffer ./internal/obs ./internal/packet
 BENCH_COUNT     ?= 3
 
-.PHONY: build test race lint bench-check bench-baseline ci check-smoke check-full scenario-smoke campaign-smoke campaignd-smoke campaignd-metrics-smoke
+.PHONY: build test race lint bench-check bench-baseline bench-profile ci check-smoke check-full scenario-smoke campaign-smoke campaignd-smoke campaignd-metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,20 @@ bench-check:
 	$(GO) test -run xxx -bench '$(BENCH_GATE_PAT)' -benchmem -count $(BENCH_COUNT) $(BENCH_GATE_PKGS) > bench-gate.out
 	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json < bench-gate.out
 	@rm -f bench-gate.out
+
+# CPU and heap profiles of the end-to-end smoke sweeps (the benchmarks the
+# gate pins). CI runs this on the bench job and uploads $(PROFILE_DIR) as an
+# artifact, so when the gate flags a layout regression the profile that
+# explains it is already attached to the failing run — no local reproduction
+# needed. The test binary is kept next to the profiles because `go tool
+# pprof` resolves symbols against it.
+PROFILE_DIR ?= bench-profiles
+bench-profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) test -run xxx -bench 'SmokeSweep' -benchmem \
+		-cpuprofile $(PROFILE_DIR)/smoke-cpu.pprof \
+		-memprofile $(PROFILE_DIR)/smoke-mem.pprof \
+		-o $(PROFILE_DIR)/flexvc.test . | tee $(PROFILE_DIR)/smoke-bench.txt
 
 # Intentionally refresh the baseline (commit the result together with the
 # change that justifies it). Uses more repetitions for a steadier floor.

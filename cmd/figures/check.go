@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -58,7 +59,15 @@ func checkCmd(args []string) error {
 	}
 
 	ids := fs.Args()
-	opts := verify.Options{WorkDir: *workDir, MaxWall: *maxWall, CorruptFresh: *corrupt, Shards: *shards}
+	// The -max-wall skip estimate assumes the effective worker count: the
+	// explicit -workers value, or the default budget (GOMAXPROCS) when unset.
+	// ApproxWallS in the manifest is a serial measurement, so dividing keeps
+	// the budget comparison honest for parallel re-runs.
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	opts := verify.Options{WorkDir: *workDir, MaxWall: *maxWall, CorruptFresh: *corrupt, Shards: *shards, Workers: effWorkers}
 	if *metricsOut != "" {
 		opts.Metrics = obs.NewRegistry()
 	}

@@ -11,20 +11,21 @@ import (
 // and credit release for one packet.
 func BenchmarkInputBufferCycle(b *testing.B) {
 	buf := NewInputBuffer(StaticConfig(4, 64))
-	pkt := packet.New(1, 0, 1, 8, packet.Request, 0)
+	st := packet.NewStore()
+	ref := st.Alloc(1, 0, 1, 8, packet.Request, 0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		vc := i & 3
-		if !buf.Reserve(vc, pkt.Size, packet.Minimal) {
+		if !buf.Reserve(vc, 8, packet.Minimal) {
 			b.Fatal("reserve failed")
 		}
-		buf.Enqueue(vc, pkt, 0, packet.Minimal)
-		if buf.Head(vc, 0) == nil {
+		buf.Enqueue(vc, ref, 0, packet.Minimal)
+		if buf.Head(vc, 0) == packet.NilRef {
 			b.Fatal("head not ready")
 		}
 		buf.Dequeue(vc)
-		buf.ReleaseCredit(vc, pkt.Size, packet.Minimal)
+		buf.ReleaseCredit(vc, 8, packet.Minimal)
 	}
 }
 
@@ -32,17 +33,18 @@ func BenchmarkInputBufferCycle(b *testing.B) {
 // additionally exercises the shared-pool accounting.
 func BenchmarkInputBufferDAMQCycle(b *testing.B) {
 	buf := NewInputBuffer(DAMQConfig(4, 256, 0.75))
-	pkt := packet.New(1, 0, 1, 8, packet.Request, 0)
+	st := packet.NewStore()
+	ref := st.Alloc(1, 0, 1, 8, packet.Request, 0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		vc := i & 3
-		if !buf.Reserve(vc, pkt.Size, packet.Nonminimal) {
+		if !buf.Reserve(vc, 8, packet.Nonminimal) {
 			b.Fatal("reserve failed")
 		}
-		buf.Enqueue(vc, pkt, 0, packet.Nonminimal)
+		buf.Enqueue(vc, ref, 0, packet.Nonminimal)
 		buf.Dequeue(vc)
-		buf.ReleaseCredit(vc, pkt.Size, packet.Nonminimal)
+		buf.ReleaseCredit(vc, 8, packet.Nonminimal)
 	}
 }
 
@@ -50,31 +52,33 @@ func BenchmarkInputBufferDAMQCycle(b *testing.B) {
 // resident packets per VC, the regime where FIFO reslicing used to reallocate.
 func BenchmarkInputBufferDeepQueue(b *testing.B) {
 	buf := NewInputBuffer(StaticConfig(2, 256))
-	pkt := packet.New(1, 0, 1, 8, packet.Request, 0)
+	st := packet.NewStore()
+	ref := st.Alloc(1, 0, 1, 8, packet.Request, 0)
 	for i := 0; i < 8; i++ {
-		buf.Reserve(i&1, pkt.Size, packet.Minimal)
-		buf.Enqueue(i&1, pkt, 0, packet.Minimal)
+		buf.Reserve(i&1, 8, packet.Minimal)
+		buf.Enqueue(i&1, ref, 0, packet.Minimal)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		vc := i & 1
-		buf.Reserve(vc, pkt.Size, packet.Minimal)
-		buf.Enqueue(vc, pkt, 0, packet.Minimal)
+		buf.Reserve(vc, 8, packet.Minimal)
+		buf.Enqueue(vc, ref, 0, packet.Minimal)
 		buf.Dequeue(vc)
-		buf.ReleaseCredit(vc, pkt.Size, packet.Minimal)
+		buf.ReleaseCredit(vc, 8, packet.Minimal)
 	}
 }
 
 // BenchmarkOutputBufferCycle measures the staging-buffer push/head/pop path.
 func BenchmarkOutputBufferCycle(b *testing.B) {
 	out := NewOutputBuffer(64)
-	pkt := packet.New(1, 0, 1, 8, packet.Request, 0)
+	st := packet.NewStore()
+	ref := st.Alloc(1, 0, 1, 8, packet.Request, 0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out.Push(pkt, 0, packet.Minimal, 0)
-		if p, _, _ := out.Head(0); p == nil {
+		out.Push(ref, 8, 0, packet.Minimal, 0)
+		if p, _, _, _ := out.Head(0); p == packet.NilRef {
 			b.Fatal("head not ready")
 		}
 		out.Pop()

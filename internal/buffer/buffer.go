@@ -128,12 +128,14 @@ func (c Config) String() string {
 	return fmt.Sprintf("damq %dx%d+%d phits", c.NumVCs, c.CapacityPerVC, c.Shared)
 }
 
-// entry is one resident packet of a VC queue.
+// entry is one resident packet of a VC queue. It holds a 4-byte Ref into the
+// network's packet store rather than a pointer, so VC rings stay small and
+// pointer-free.
 type entry struct {
-	pkt *packet.Packet
 	// ready is the cycle at which the packet's head becomes visible to the
 	// allocator (arrival + router pipeline latency).
 	ready int64
+	ref   packet.Ref
 	// kind is the routing kind recorded when the space was reserved; the
 	// matching credit release must use the same kind so the minCred split
 	// counters stay balanced even if the packet is re-routed later.
@@ -256,33 +258,33 @@ func (b *InputBuffer) ReleaseCredit(vc, size int, kind packet.RouteKind) {
 // Enqueue places a packet into the given VC. Space must already have been
 // reserved with the given routing kind; ready is the cycle at which the
 // packet becomes visible to the allocator.
-func (b *InputBuffer) Enqueue(vc int, pkt *packet.Packet, ready int64, kind packet.RouteKind) {
-	b.vcs[vc].queue.push(entry{pkt: pkt, ready: ready, kind: kind})
+func (b *InputBuffer) Enqueue(vc int, ref packet.Ref, ready int64, kind packet.RouteKind) {
+	b.vcs[vc].queue.push(entry{ref: ref, ready: ready, kind: kind})
 }
 
 // Head returns the head packet of the given VC if it is ready at the given
-// cycle, or nil.
-func (b *InputBuffer) Head(vc int, now int64) *packet.Packet {
+// cycle, or NilRef.
+func (b *InputBuffer) Head(vc int, now int64) packet.Ref {
 	s := &b.vcs[vc]
 	if s.queue.len() == 0 {
-		return nil
+		return packet.NilRef
 	}
 	if e := s.queue.front(); e.ready <= now {
-		return e.pkt
+		return e.ref
 	}
-	return nil
+	return packet.NilRef
 }
 
 // Dequeue removes and returns the head packet of the given VC together with
 // the routing kind recorded at reservation time. Note that the space it
 // occupied is only returned through ReleaseCredit (with that same kind).
-func (b *InputBuffer) Dequeue(vc int) (*packet.Packet, packet.RouteKind) {
+func (b *InputBuffer) Dequeue(vc int) (packet.Ref, packet.RouteKind) {
 	s := &b.vcs[vc]
 	if s.queue.len() == 0 {
 		panic(fmt.Sprintf("buffer: dequeue from empty VC %d", vc))
 	}
 	e := s.queue.pop()
-	return e.pkt, e.kind
+	return e.ref, e.kind
 }
 
 // CapacityFor returns the maximum space a single VC could ever hold: its

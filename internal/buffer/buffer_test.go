@@ -104,14 +104,15 @@ func TestDAMQSharedPool(t *testing.T) {
 
 func TestQueueFIFO(t *testing.T) {
 	b := NewInputBuffer(StaticConfig(1, 64))
-	p1 := packet.New(1, 0, 1, 8, packet.Request, 0)
-	p2 := packet.New(2, 0, 1, 8, packet.Request, 0)
+	st := packet.NewStore()
+	p1 := st.Alloc(1, 0, 1, 8, packet.Request, 0)
+	p2 := st.Alloc(2, 0, 1, 8, packet.Request, 0)
 	b.Reserve(0, 8, packet.Minimal)
 	b.Enqueue(0, p1, 10, packet.Minimal)
 	b.Reserve(0, 8, packet.Nonminimal)
 	b.Enqueue(0, p2, 12, packet.Nonminimal)
 
-	if b.Head(0, 5) != nil {
+	if b.Head(0, 5) != packet.NilRef {
 		t.Fatal("head must not be visible before its ready cycle")
 	}
 	if b.Head(0, 10) != p1 {
@@ -212,21 +213,22 @@ func TestBufferInvariantsQuick(t *testing.T) {
 
 func TestOutputBuffer(t *testing.T) {
 	o := NewOutputBuffer(16)
-	p1 := packet.New(1, 0, 1, 8, packet.Request, 0)
-	p2 := packet.New(2, 0, 1, 8, packet.Reply, 0)
+	st := packet.NewStore()
+	p1 := st.Alloc(1, 0, 1, 8, packet.Request, 0)
+	p2 := st.Alloc(2, 0, 1, 8, packet.Reply, 0)
 	if !o.CanAccept(8) {
 		t.Fatal("empty output buffer should accept a packet")
 	}
-	o.Push(p1, 2, packet.Minimal, 5)
-	o.Push(p2, 0, packet.Nonminimal, 7)
+	o.Push(p1, 8, 2, packet.Minimal, 5)
+	o.Push(p2, 8, 0, packet.Nonminimal, 7)
 	if o.CanAccept(8) {
 		t.Fatal("full output buffer should reject")
 	}
-	if pkt, _, _ := o.Head(4); pkt != nil {
+	if ref, _, _, _ := o.Head(4); ref != packet.NilRef {
 		t.Fatal("head not ready yet")
 	}
-	pkt, vc, kind := o.Head(5)
-	if pkt != p1 || vc != 2 || kind != packet.Minimal {
+	ref, size, vc, kind := o.Head(5)
+	if ref != p1 || size != 8 || vc != 2 || kind != packet.Minimal {
 		t.Fatal("wrong head")
 	}
 	if o.Pop() != p1 || o.Len() != 1 || o.Committed() != 8 || o.Peak() != 16 {
@@ -236,7 +238,7 @@ func TestOutputBuffer(t *testing.T) {
 	assertPanics(t, "pop empty", func() { o.Pop() })
 	assertPanics(t, "overflow", func() {
 		small := NewOutputBuffer(4)
-		small.Push(p1, 0, packet.Minimal, 0)
+		small.Push(p1, 8, 0, packet.Minimal, 0)
 	})
 	assertPanics(t, "zero capacity", func() { NewOutputBuffer(0) })
 }

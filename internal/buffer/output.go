@@ -8,12 +8,14 @@ import (
 
 // outEntry is a packet staged in an output buffer together with the
 // downstream VC it has already been assigned and the routing kind recorded at
-// reservation time (needed to release the matching credit class later).
+// reservation time (needed to release the matching credit class later). The
+// packet size is copied in so occupancy accounting never resolves the ref.
 type outEntry struct {
-	pkt    *packet.Packet
-	destVC int
-	kind   packet.RouteKind
 	ready  int64
+	ref    packet.Ref
+	size   int32
+	destVC int32
+	kind   packet.RouteKind
 }
 
 // OutputBuffer models the small per-output-port staging buffer of a combined
@@ -44,41 +46,41 @@ func (o *OutputBuffer) Free() int { return o.capacity - o.committed }
 // CanAccept reports whether a packet of the given size fits.
 func (o *OutputBuffer) CanAccept(size int) bool { return o.Free() >= size }
 
-// Push stages a packet heading to destVC of the downstream port. ready is the
-// cycle at which the packet may start leaving on the link.
-func (o *OutputBuffer) Push(pkt *packet.Packet, destVC int, kind packet.RouteKind, ready int64) {
-	if !o.CanAccept(pkt.Size) {
-		panic(fmt.Sprintf("buffer: output buffer overflow pushing %d phits into %d free", pkt.Size, o.Free()))
+// Push stages a packet of `size` phits heading to destVC of the downstream
+// port. ready is the cycle at which the packet may start leaving on the link.
+func (o *OutputBuffer) Push(ref packet.Ref, size, destVC int, kind packet.RouteKind, ready int64) {
+	if !o.CanAccept(size) {
+		panic(fmt.Sprintf("buffer: output buffer overflow pushing %d phits into %d free", size, o.Free()))
 	}
-	o.committed += pkt.Size
+	o.committed += size
 	if o.committed > o.peak {
 		o.peak = o.committed
 	}
-	o.queue.push(outEntry{pkt: pkt, destVC: destVC, kind: kind, ready: ready})
+	o.queue.push(outEntry{ref: ref, size: int32(size), destVC: int32(destVC), kind: kind, ready: ready})
 }
 
-// Head returns the head packet, its assigned downstream VC and routing kind,
-// if it is ready at the given cycle. It returns nil when the buffer is empty
-// or the head is not ready yet.
-func (o *OutputBuffer) Head(now int64) (*packet.Packet, int, packet.RouteKind) {
+// Head returns the head packet, its size, its assigned downstream VC and
+// routing kind, if it is ready at the given cycle. It returns NilRef when the
+// buffer is empty or the head is not ready yet.
+func (o *OutputBuffer) Head(now int64) (ref packet.Ref, size, destVC int, kind packet.RouteKind) {
 	if o.queue.len() == 0 {
-		return nil, -1, packet.Minimal
+		return packet.NilRef, 0, -1, packet.Minimal
 	}
 	e := o.queue.front()
 	if e.ready > now {
-		return nil, -1, packet.Minimal
+		return packet.NilRef, 0, -1, packet.Minimal
 	}
-	return e.pkt, e.destVC, e.kind
+	return e.ref, int(e.size), int(e.destVC), e.kind
 }
 
 // Pop removes the head packet and frees its space.
-func (o *OutputBuffer) Pop() *packet.Packet {
+func (o *OutputBuffer) Pop() packet.Ref {
 	if o.queue.len() == 0 {
 		panic("buffer: pop from empty output buffer")
 	}
 	e := o.queue.pop()
-	o.committed -= e.pkt.Size
-	return e.pkt
+	o.committed -= int(e.size)
+	return e.ref
 }
 
 // Len returns the number of staged packets.

@@ -1,42 +1,122 @@
 package packet
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
-func TestPacketBasics(t *testing.T) {
-	p := New(42, 3, 9, 8, Request, 100)
-	if p.ID != 42 || p.Src != 3 || p.Dst != 9 || p.Size != 8 || p.Class != Request || p.GenTime != 100 {
-		t.Fatal("constructor fields broken")
+func TestStoreAllocBasics(t *testing.T) {
+	s := NewStore()
+	ref := s.Alloc(42, 3, 9, 8, Request, 100)
+	h := s.Hdr(ref)
+	if h.ID != 42 || h.Src != 3 || h.Dst != 9 || h.Size != 8 || h.Class != Request {
+		t.Fatal("header fields broken")
 	}
-	if p.Route.Kind != Minimal || p.Route.Phase != PhaseToDestination || p.Route.InputVC != -1 {
+	if h.SrcRouter != InvalidRouter || h.DstRouter != InvalidRouter {
+		t.Fatal("endpoint routers should start invalid")
+	}
+	if s.Times(ref).Gen != 100 {
+		t.Fatal("gen time broken")
+	}
+	r := s.Route(ref)
+	if r.Kind != Minimal || r.Phase != PhaseToDestination || r.InputVC != -1 {
 		t.Fatal("route state defaults broken")
 	}
-	if p.Route.Intermediate != InvalidRouter {
+	if r.Intermediate != InvalidRouter {
 		t.Fatal("intermediate default broken")
 	}
-	p.InjectTime = 110
-	p.RecvTime = 250
-	if p.Latency() != 150 || p.NetworkLatency() != 140 {
+	s.Times(ref).Inject = 110
+	s.Times(ref).Recv = 250
+	if s.Latency(ref) != 150 || s.NetworkLatency(ref) != 140 {
 		t.Fatal("latency helpers broken")
 	}
-	if p.String() == "" {
-		t.Fatal("empty string form")
+	if !strings.Contains(s.Describe(ref), "id=42") {
+		t.Fatalf("Describe broken: %s", s.Describe(ref))
+	}
+}
+
+func TestStoreRecycling(t *testing.T) {
+	s := NewStore()
+	a := s.Alloc(1, 0, 1, 8, Request, 0)
+	b := s.Alloc(2, 1, 2, 8, Request, 0)
+	if a == b {
+		t.Fatal("distinct live packets share a ref")
+	}
+	if s.Slots() != 2 || s.InUse() != 2 {
+		t.Fatalf("Slots/InUse broken: %d/%d", s.Slots(), s.InUse())
+	}
+	s.Free(b)
+	if s.InUse() != 1 {
+		t.Fatalf("InUse after free: %d", s.InUse())
+	}
+	c := s.Alloc(3, 2, 3, 8, Reply, 7)
+	if c != b {
+		t.Fatalf("free-list should recycle the last freed index: got %d want %d", c, b)
+	}
+	// The recycled slot must be fully re-initialised.
+	h, r := s.Hdr(c), s.Route(c)
+	if h.ID != 3 || h.Class != Reply || r.Kind != Minimal || r.InputVC != -1 || s.ReplyTo(c) != NilRef {
+		t.Fatal("recycled slot not reset")
+	}
+	news, reuses := s.Stats()
+	if news != 2 || reuses != 1 {
+		t.Fatalf("stats: news=%d reuses=%d", news, reuses)
+	}
+}
+
+func TestStoreReplyLink(t *testing.T) {
+	s := NewStore()
+	req := s.Alloc(1, 0, 1, 8, Request, 0)
+	rep := s.Alloc(2, 1, 0, 8, Reply, 5)
+	s.SetReplyTo(rep, req)
+	if s.ReplyTo(rep) != req {
+		t.Fatal("reply link broken")
+	}
+	s.Free(rep)
+	// Free must clear the link so a recycled slot carries no stale retain.
+	rep2 := s.Alloc(3, 1, 0, 8, Reply, 6)
+	if rep2 != rep || s.ReplyTo(rep2) != NilRef {
+		t.Fatal("reply link survived recycling")
+	}
+	_ = req
+}
+
+func TestStoreReset(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		s.Alloc(uint64(i), 0, 1, 8, Request, 0)
+	}
+	s.Free(3)
+	s.Reset()
+	if s.Slots() != 0 || s.InUse() != 0 {
+		t.Fatal("Reset left slots behind")
+	}
+	news, reuses := s.Stats()
+	if news != 0 || reuses != 0 {
+		t.Fatal("Reset left counters behind")
+	}
+	ref := s.Alloc(1, 0, 1, 8, Request, 0)
+	if ref != 0 {
+		t.Fatalf("post-Reset alloc should restart at slot 0, got %d", ref)
 	}
 }
 
 func TestRouteStateReset(t *testing.T) {
-	p := New(1, 0, 1, 8, Reply, 0)
-	p.Route.Kind = Nonminimal
-	p.Route.Phase = PhaseToIntermediate
-	p.Route.Intermediate = 7
-	p.Route.LocalHops = 3
-	p.Route.GlobalHops = 2
-	p.Route.InputVC = 4
-	p.Route.AdaptiveDecided = true
-	p.Route.Reset()
-	if p.Route.Kind != Minimal || p.Route.Phase != PhaseToDestination ||
-		p.Route.Intermediate != InvalidRouter || p.Route.LocalHops != 0 ||
-		p.Route.GlobalHops != 0 || p.Route.InputVC != -1 || p.Route.AdaptiveDecided {
-		t.Fatalf("Reset left state behind: %+v", p.Route)
+	s := NewStore()
+	ref := s.Alloc(1, 0, 1, 8, Reply, 0)
+	r := s.Route(ref)
+	r.Kind = Nonminimal
+	r.Phase = PhaseToIntermediate
+	r.Intermediate = 7
+	r.LocalHops = 3
+	r.GlobalHops = 2
+	r.InputVC = 4
+	r.AdaptiveDecided = true
+	r.Reset()
+	if r.Kind != Minimal || r.Phase != PhaseToDestination ||
+		r.Intermediate != InvalidRouter || r.LocalHops != 0 ||
+		r.GlobalHops != 0 || r.InputVC != -1 || r.AdaptiveDecided {
+		t.Fatalf("Reset left state behind: %+v", *r)
 	}
 }
 
@@ -52,5 +132,8 @@ func TestStringers(t *testing.T) {
 	}
 	if NumClasses != 2 {
 		t.Error("NumClasses should be 2")
+	}
+	if s := (&Store{}).Describe(NilRef); s != "pkt{nil}" {
+		t.Errorf("NilRef describe: %s", s)
 	}
 }

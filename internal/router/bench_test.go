@@ -21,23 +21,24 @@ func (e *benchEnv) DownstreamInput(r packet.RouterID, port int) *buffer.InputBuf
 	return e.downstream[port]
 }
 
-func (e *benchEnv) ScheduleArrival(delay int64, to packet.RouterID, port, vc int, pkt *packet.Packet, kind packet.RouteKind) {
+func (e *benchEnv) ScheduleArrival(delay int64, to packet.RouterID, port, vc int, ref packet.Ref, kind packet.RouteKind) {
 }
 
 func (e *benchEnv) ScheduleCredit(delay int64, buf *buffer.InputBuffer, vc, size int, kind packet.RouteKind) {
 	buf.ReleaseCredit(vc, size, kind)
 }
 
-func (e *benchEnv) ScheduleDelivery(delay int64, pkt *packet.Packet) {}
+func (e *benchEnv) ScheduleDelivery(delay int64, ref packet.Ref) {}
 
-func buildBenchRouter(b *testing.B) (*Router, *benchEnv, *topology.Dragonfly) {
+func buildBenchRouter(b *testing.B) (*Router, *benchEnv, *topology.Dragonfly, *packet.Store) {
 	b.Helper()
 	topo, err := topology.NewDragonfly(2, 4, 2)
 	if err != nil {
 		b.Fatal(err)
 	}
+	store := packet.NewStore()
 	scheme := core.Scheme{Policy: core.FlexVC, VCs: core.SingleClass(4, 2), Selection: core.JSQ}
-	rt, err := New(0, topo, scheme, routing.NewMinimal(topo), testParams(1), 7)
+	rt, err := New(0, topo, scheme, routing.NewMinimal(topo), testParams(1, store), 7)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func buildBenchRouter(b *testing.B) (*Router, *benchEnv, *topology.Dragonfly) {
 		env.downstream[p] = buffer.NewInputBuffer(buffer.StaticConfig(scheme.VCs.TotalOf(kind), 1<<20))
 	}
 	rt.SetEnv(env)
-	return rt, env, topo
+	return rt, env, topo, store
 }
 
 // drainDownstream releases every committed phit of the synthetic downstream
@@ -71,17 +72,18 @@ func drainDownstream(env *benchEnv) {
 // BenchmarkRouterStepBusy measures Router.Step with traffic flowing: the
 // injection VCs are topped up with forwardable packets whenever they drain.
 func BenchmarkRouterStepBusy(b *testing.B) {
-	rt, env, topo := buildBenchRouter(b)
+	rt, env, topo, store := buildBenchRouter(b)
 	dst := topo.NodeAt(topo.RouterInGroup(1, 0), 0)
 	refill := func(now int64) {
 		inj := rt.Input(0)
 		for vc := 0; vc < inj.NumVCs(); vc++ {
 			for inj.FreeFor(vc) >= 8 && inj.QueueLen(vc) < 4 {
-				pkt := packet.New(1, topo.NodeAt(0, 0), dst, 8, packet.Request, now)
-				pkt.SrcRouter = 0
-				pkt.DstRouter = topo.RouterOfNode(dst)
-				inj.Reserve(vc, pkt.Size, packet.Minimal)
-				rt.EnqueueArrival(0, vc, pkt, now, packet.Minimal)
+				ref := store.Alloc(1, topo.NodeAt(0, 0), dst, 8, packet.Request, now)
+				hdr := store.Hdr(ref)
+				hdr.SrcRouter = 0
+				hdr.DstRouter = topo.RouterOfNode(dst)
+				inj.Reserve(vc, int(hdr.Size), packet.Minimal)
+				rt.EnqueueArrival(0, vc, ref, now, packet.Minimal)
 			}
 		}
 	}
@@ -100,10 +102,34 @@ func BenchmarkRouterStepBusy(b *testing.B) {
 	}
 }
 
+// BenchmarkVCActivity measures the incremental activity-list update on the
+// enqueue/dequeue path: port membership churn in the sorted live-port list
+// (binary insert and remove) plus the per-port VC occupancy mask. This is the
+// bookkeeping the simulator pays per packet movement in exchange for the
+// proposal pass iterating live VCs only; the gate pins it allocation-free.
+func BenchmarkVCActivity(b *testing.B) {
+	rt, _, topo, _ := buildBenchRouter(b)
+	// Churn across several ports so inserts and removes hit different
+	// positions of the sorted list, not just the tail.
+	var ports [4]int
+	idx := 0
+	for p := 0; p < topo.Radix() && idx < len(ports); p += 2 {
+		ports[idx] = p
+		idx++
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := ports[i&3]
+		rt.noteEnqueue(p, i&1)
+		rt.noteDequeue(p, i&1)
+	}
+}
+
 // BenchmarkRouterStepIdle measures Step on a router with no resident packets:
 // the pure scan overhead the simulator pays for every idle router each cycle.
 func BenchmarkRouterStepIdle(b *testing.B) {
-	rt, _, _ := buildBenchRouter(b)
+	rt, _, _, _ := buildBenchRouter(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -44,6 +44,9 @@ type Params struct {
 	// BufferConfig returns the input-buffer configuration for a port of the
 	// given kind with the given number of VCs.
 	BufferConfig func(kind topology.PortKind, numVCs int) buffer.Config
+	// Store is the packet store of the network this router belongs to; every
+	// Ref the router handles resolves through it.
+	Store *packet.Store
 }
 
 // LinkLatency returns the link latency for a port kind.
@@ -78,6 +81,9 @@ func (p Params) Validate() error {
 	if p.BufferConfig == nil {
 		return fmt.Errorf("router: missing buffer configuration function")
 	}
+	if p.Store == nil {
+		return fmt.Errorf("router: missing packet store")
+	}
 	return nil
 }
 
@@ -100,16 +106,16 @@ type Env interface {
 	// DownstreamInput returns the input buffer at the far end of output
 	// port `port` of router r (nil for terminal ports).
 	DownstreamInput(r packet.RouterID, port int) *buffer.InputBuffer
-	// ScheduleArrival delivers pkt into VC vc of input port `port` of
-	// router `to` after `delay` cycles; kind is the routing kind recorded
+	// ScheduleArrival delivers the packet into VC vc of input port `port`
+	// of router `to` after `delay` cycles; kind is the routing kind recorded
 	// when the space was reserved.
-	ScheduleArrival(delay int64, to packet.RouterID, port, vc int, pkt *packet.Packet, kind packet.RouteKind)
+	ScheduleArrival(delay int64, to packet.RouterID, port, vc int, ref packet.Ref, kind packet.RouteKind)
 	// ScheduleCredit releases `size` phits of VC vc of buf after `delay`
 	// cycles.
 	ScheduleCredit(delay int64, buf *buffer.InputBuffer, vc, size int, kind packet.RouteKind)
-	// ScheduleDelivery consumes pkt at its destination node after `delay`
-	// cycles.
-	ScheduleDelivery(delay int64, pkt *packet.Packet)
+	// ScheduleDelivery consumes the packet at its destination node after
+	// `delay` cycles.
+	ScheduleDelivery(delay int64, ref packet.Ref)
 }
 
 // Router is one switch of the simulated network.
@@ -122,6 +128,7 @@ type Router struct {
 	params Params
 	env    Env
 	rng    *rand.Rand
+	store  *packet.Store
 
 	numPorts int
 	inputs   []*buffer.InputBuffer
@@ -142,18 +149,23 @@ type Router struct {
 	down    []*buffer.InputBuffer
 	downSet []bool
 
-	// Occupancy masks drive the batched allocator: instead of probing every
+	// Activity lists drive the batched allocator: instead of probing every
 	// VC of every port each allocation iteration, the proposal pass visits
-	// only ports (liveIn) and VCs (headVCs) that actually hold packets, and
-	// the transmit pass only ports with staged output work (xmitLive). The
-	// masks are pure occupancy bookkeeping — skipping an empty port or VC is
-	// exactly what the probing loop would have done, so results are
-	// bit-identical. maskable is false on the (unused in practice) geometries
-	// whose port or VC count exceeds 64; those fall back to full scans.
-	maskable bool
-	liveIn   uint64
-	headVCs  []uint64
-	xmitLive uint64
+	// only ports that actually hold packets (liveIn, a dense ascending-sorted
+	// list) and within each port only the occupied VCs (vcMask), and the
+	// transmit pass only ports with staged output work (xmit). The lists are
+	// pure occupancy bookkeeping, updated incrementally on enqueue and
+	// dequeue — skipping an empty port or VC is exactly what the probing loop
+	// would have concluded, and the sorted order reproduces the full scan's
+	// ascending port order, so results are bit-identical. Ports with more
+	// than 64 VCs (vcMaskOK false; unused in practice) scan all VCs of the
+	// live port. AuditActivity cross-checks list state against a brute-force
+	// scan in tests.
+	liveIn   portList
+	xmit     portList
+	inCount  []int32  // resident input packets per port
+	vcMask   []uint64 // per port: bit v set iff VC v holds >= 1 packet
+	vcMaskOK []bool   // vcMask[p] maintained (port has <= 64 VCs)
 
 	inVCRR []int // round-robin pointer over VCs, per input port
 	outRR  []int // round-robin pointer over input ports, per output resource
@@ -207,6 +219,7 @@ func New(id packet.RouterID, topo topology.Topology, scheme core.Scheme, alg rou
 		mgr:      core.NewManager(scheme),
 		alg:      alg,
 		params:   params,
+		store:    params.Store,
 		numPorts: topo.Radix(),
 		rng:      rand.New(rand.NewSource(seed ^ (int64(id)+1)*0x9E3779B9)),
 	}
@@ -224,8 +237,11 @@ func New(id packet.RouterID, topo topology.Topology, scheme core.Scheme, alg rou
 	r.inVCRR = make([]int, r.numPorts)
 	r.outRR = make([]int, r.numPorts*(1+params.NumClasses))
 	r.portFail = make([]int64, r.numPorts)
-	r.headVCs = make([]uint64, r.numPorts)
-	r.maskable = r.numPorts <= 64
+	r.liveIn = newPortList(r.numPorts)
+	r.xmit = newPortList(r.numPorts)
+	r.inCount = make([]int32, r.numPorts)
+	r.vcMask = make([]uint64, r.numPorts)
+	r.vcMaskOK = make([]bool, r.numPorts)
 	for p := 0; p < r.numPorts; p++ {
 		if n := r.portVCs(topo.PortKind(id, p)); n > r.vcStride {
 			r.vcStride = n
@@ -243,9 +259,7 @@ func New(id packet.RouterID, topo topology.Topology, scheme core.Scheme, alg rou
 		if kind != topology.Terminal {
 			r.nbrs[p], r.nbrPorts[p] = topo.Neighbor(id, p)
 		}
-		if numVCs > 64 {
-			r.maskable = false
-		}
+		r.vcMaskOK[p] = numVCs <= 64
 		r.inputs[p] = buffer.NewInputBuffer(params.BufferConfig(kind, numVCs))
 		if kind == topology.Terminal {
 			r.eject[p] = make([]*buffer.OutputBuffer, params.NumClasses)
@@ -302,12 +316,30 @@ func (r *Router) Input(port int) *buffer.InputBuffer { return r.inputs[port] }
 // EnqueueArrival places a packet into an input VC (space must already be
 // reserved) and records the pending work, so Busy reports the router needs
 // stepping.
-func (r *Router) EnqueueArrival(port, vc int, pkt *packet.Packet, ready int64, kind packet.RouteKind) {
-	r.inputs[port].Enqueue(vc, pkt, ready, kind)
+func (r *Router) EnqueueArrival(port, vc int, ref packet.Ref, ready int64, kind packet.RouteKind) {
+	r.inputs[port].Enqueue(vc, ref, ready, kind)
 	r.pending++
-	if r.maskable {
-		r.headVCs[port] |= 1 << uint(vc)
-		r.liveIn |= 1 << uint(port)
+	r.noteEnqueue(port, vc)
+}
+
+// noteEnqueue updates the activity lists for a packet entering an input VC.
+func (r *Router) noteEnqueue(port, vc int) {
+	if r.inCount[port]++; r.inCount[port] == 1 {
+		r.liveIn.add(port)
+	}
+	if r.vcMaskOK[port] {
+		r.vcMask[port] |= 1 << uint(vc)
+	}
+}
+
+// noteDequeue updates the activity lists for a packet leaving an input VC.
+// It must run after the buffer dequeue (it re-checks the queue length).
+func (r *Router) noteDequeue(port, vc int) {
+	if r.vcMaskOK[port] && r.inputs[port].QueueLen(vc) == 0 {
+		r.vcMask[port] &^= 1 << uint(vc)
+	}
+	if r.inCount[port]--; r.inCount[port] == 0 {
+		r.liveIn.remove(port)
 	}
 }
 
@@ -350,10 +382,13 @@ func (r *Router) Step(now int64) {
 	r.transmit(now)
 }
 
-// request is one input port's proposal during an allocation iteration.
+// request is one input port's proposal during an allocation iteration. It
+// carries the packet's ref and size so the grant path never resolves the
+// store until it must mutate route state.
 type request struct {
 	inPort, inVC int
-	pkt          *packet.Packet
+	ref          packet.Ref
+	size         int32
 	outPort      int
 	destVC       int
 	terminal     bool
@@ -390,28 +425,19 @@ func (r *Router) allocate(now int64) {
 
 	// Phase 1 (batched): every live input port contributes at most one
 	// (VC, output) proposal built from its cached plan; ports holding no
-	// packets are skipped via the occupancy mask — identical to what probing
-	// them would conclude. Phase 2 (fused): each output resource keeps the
-	// proposal closest to its round-robin pointer.
-	if r.maskable {
-		for m := r.liveIn; m != 0; {
-			p := bits.TrailingZeros64(m)
-			m &^= 1 << uint(p)
-			if r.portFail[p] == now+1 {
-				continue
-			}
-			if req, ok := r.proposeFromPort(now, p); ok {
-				r.propose(st, req)
-			}
+	// packets are absent from the activity list — identical to what probing
+	// them would conclude — and the list's sorted order reproduces the full
+	// scan's ascending port order. Grants only land after this loop, so the
+	// list is not mutated while it is being walked. Phase 2 (fused): each
+	// output resource keeps the proposal closest to its round-robin pointer.
+	live := r.liveIn.ports
+	for i := 0; i < len(live); i++ {
+		p := int(live[i])
+		if r.portFail[p] == now+1 {
+			continue
 		}
-	} else {
-		for p := 0; p < r.numPorts; p++ {
-			if r.portFail[p] == now+1 {
-				continue
-			}
-			if req, ok := r.proposeFromPort(now, p); ok {
-				r.propose(st, req)
-			}
+		if req, ok := r.proposeFromPort(now, p); ok {
+			r.propose(st, req)
 		}
 	}
 	for _, key := range st.touched {
@@ -469,10 +495,10 @@ func (r *Router) rrDistance(key, inPort int) int {
 // re-senses congestion every cycle, so its plan is rebuilt on every
 // evaluation, which matches the pre-plan behaviour.
 //
-// Head identity is checked by pointer AND packet ID: the packet pool can
-// reissue the same pointer for a different packet.
+// Head identity is checked by Ref AND packet ID: the packet store can
+// reissue the same ref for a different packet.
 type vcPlan struct {
-	pkt    *packet.Packet
+	ref    packet.Ref
 	id     uint64
 	stable bool
 
@@ -503,13 +529,13 @@ func (r *Router) proposeFromPort(now int64, p int) (request, bool) {
 	plans := r.plans[p*r.vcStride : p*r.vcStride+nvc]
 	stampable := true
 
-	if r.maskable {
+	if r.vcMaskOK[p] {
 		// Visit only occupied VCs, in the same round-robin order the probing
 		// loop used (start at the RR pointer, wrap around): first the set
 		// bits at or above the pointer, then the set bits below it. Empty
 		// VCs contribute nothing in either formulation.
 		start := r.inVCRR[p]
-		mask := r.headVCs[p]
+		mask := r.vcMask[p]
 		for _, span := range [2]uint64{mask &^ (1<<uint(start) - 1), mask & (1<<uint(start) - 1)} {
 			for span != 0 {
 				vc := bits.TrailingZeros64(span)
@@ -547,17 +573,18 @@ func (r *Router) tryVC(now int64, in *buffer.InputBuffer, fails []int64, plans [
 		// been freed since; skip the re-evaluation.
 		return request{}, false, true
 	}
-	pkt := in.Head(vc, now)
-	if pkt == nil {
+	ref := in.Head(vc, now)
+	if ref == packet.NilRef {
 		// Empty or not-yet-ready heads cannot change within the cycle
 		// (arrivals enqueue between cycles and ready times are fixed).
 		return request{}, false, true
 	}
 	plan := &plans[vc]
-	if plan.pkt != pkt || plan.id != pkt.ID || !plan.stable {
-		r.buildPlan(p, pkt, plan)
+	hdr := r.store.Hdr(ref)
+	if plan.ref != ref || plan.id != hdr.ID || !plan.stable {
+		r.buildPlan(p, ref, hdr, plan)
 	}
-	req, ok := r.requestFromPlan(plan, p, vc, pkt)
+	req, ok := r.requestFromPlan(plan, p, vc, ref, int(hdr.Size))
 	if !ok {
 		if plan.stable {
 			fails[vc] = now + 1
@@ -577,30 +604,31 @@ func (r *Router) tryVC(now int64, in *buffer.InputBuffer, fails []int64, plans [
 // route to its destination) is planned as a fallback, as the paper's
 // opportunistic-routing rule prescribes; the detour is only abandoned if the
 // escape request wins allocation.
-func (r *Router) buildPlan(p int, pkt *packet.Packet, plan *vcPlan) {
-	dec := r.alg.Route(r.id, pkt, r.rng)
+func (r *Router) buildPlan(p int, ref packet.Ref, hdr *packet.Header, plan *vcPlan) {
+	rt := r.store.Route(ref)
+	dec := r.alg.Route(r.id, hdr, rt, r.rng)
 	*plan = vcPlan{
-		pkt:    pkt,
-		id:     pkt.ID,
-		stable: pkt.Route.AdaptiveDecided || r.alg.Kind() == routing.MIN,
+		ref:    ref,
+		id:     hdr.ID,
+		stable: rt.AdaptiveDecided || r.alg.Kind() == routing.MIN,
 	}
 	if dec.Deliver {
-		class := int(pkt.Class)
+		class := int(hdr.Class)
 		if class >= r.params.NumClasses {
 			class = r.params.NumClasses - 1
 		}
 		plan.deliver = true
-		plan.outPort = r.topo.TerminalPort(r.id, pkt.Dst)
+		plan.outPort = r.topo.TerminalPort(r.id, hdr.Dst)
 		plan.class = class
 		return
 	}
 	var safe bool
 	plan.outPort = dec.OutPort
-	plan.outKind, plan.lo, plan.hi, safe = r.planRange(p, pkt, dec.OutPort, false)
-	if !safe && pkt.Route.Kind == packet.Nonminimal && pkt.Route.Phase == packet.PhaseToIntermediate {
-		escPort := r.topo.NextMinimalPort(r.id, pkt.DstRouter)
+	plan.outKind, plan.lo, plan.hi, safe = r.planRange(p, hdr, rt, dec.OutPort, false)
+	if !safe && rt.Kind == packet.Nonminimal && rt.Phase == packet.PhaseToIntermediate {
+		escPort := r.topo.NextMinimalPort(r.id, hdr.DstRouter)
 		if escPort >= 0 && escPort != dec.OutPort {
-			plan.escOutKind, plan.escLo, plan.escHi, _ = r.planRange(p, pkt, escPort, true)
+			plan.escOutKind, plan.escLo, plan.escHi, _ = r.planRange(p, hdr, rt, escPort, true)
 			plan.escOutPort = escPort
 			plan.escValid = plan.escLo <= plan.escHi
 		}
@@ -612,26 +640,26 @@ func (r *Router) buildPlan(p int, pkt *packet.Packet, plan *vcPlan) {
 // escape (minimal) continuation rather than the planned one. It returns
 // lo > hi when the continuation is invalid or has no allowed VCs; safe
 // reports whether the continuation was classified as a safe hop.
-func (r *Router) planRange(p int, pkt *packet.Packet, outPort int, revert bool) (kind topology.PortKind, lo, hi int, safe bool) {
+func (r *Router) planRange(p int, hdr *packet.Header, rt *packet.RouteState, outPort int, revert bool) (kind topology.PortKind, lo, hi int, safe bool) {
 	if outPort < 0 {
 		return topology.Terminal, 1, 0, false
 	}
 	kind = r.kinds[outPort]
 	next := r.nbrs[outPort]
-	escape := routing.EscapeRemaining(r.topo, next, pkt)
+	escape := routing.EscapeRemaining(r.topo, next, hdr.DstRouter)
 	planned := escape
-	if !revert && pkt.Route.Kind == packet.Nonminimal && pkt.Route.Phase == packet.PhaseToIntermediate {
+	if !revert && rt.Kind == packet.Nonminimal && rt.Phase == packet.PhaseToIntermediate {
 		// Only a Valiant detour still heading to its intermediate differs
 		// from the escape path; every other plan IS the minimal path, which
 		// PlannedRemaining would recompute identically.
-		planned = routing.PlannedRemaining(r.topo, next, pkt)
+		planned = routing.PlannedRemaining(r.topo, next, rt, hdr.DstRouter)
 	}
 	ctx := core.HopContext{
-		Class:        pkt.Class,
+		Class:        hdr.Class,
 		Kind:         kind,
 		InputKind:    r.kinds[p],
-		InputVC:      pkt.Route.InputVC,
-		RefPosition:  routing.BaselinePosition(r.topo, pkt),
+		InputVC:      int(rt.InputVC),
+		RefPosition:  routing.BaselinePosition(r.topo, rt),
 		PlannedAfter: planned,
 		EscapeAfter:  escape,
 	}
@@ -654,23 +682,23 @@ func (r *Router) planRange(p int, pkt *packet.Packet, outPort int, revert bool) 
 // request building: ejection/output buffer admission and VC selection over
 // the plan's allowed range, falling back to the escape plan when the planned
 // continuation has no room.
-func (r *Router) requestFromPlan(plan *vcPlan, p, vc int, pkt *packet.Packet) (request, bool) {
+func (r *Router) requestFromPlan(plan *vcPlan, p, vc int, ref packet.Ref, size int) (request, bool) {
 	if plan.deliver {
-		if !r.eject[plan.outPort][plan.class].CanAccept(pkt.Size) {
+		if !r.eject[plan.outPort][plan.class].CanAccept(size) {
 			return request{}, false
 		}
-		return request{inPort: p, inVC: vc, pkt: pkt, outPort: plan.outPort, destVC: 0,
+		return request{inPort: p, inVC: vc, ref: ref, size: int32(size), outPort: plan.outPort, destVC: 0,
 			terminal: true, class: plan.class, outKind: topology.Terminal}, true
 	}
-	if plan.lo <= plan.hi && r.outputs[plan.outPort].CanAccept(pkt.Size) {
-		if destVC, ok := r.selectVC(plan.outPort, plan.lo, plan.hi, pkt.Size); ok {
-			return request{inPort: p, inVC: vc, pkt: pkt, outPort: plan.outPort,
+	if plan.lo <= plan.hi && r.outputs[plan.outPort].CanAccept(size) {
+		if destVC, ok := r.selectVC(plan.outPort, plan.lo, plan.hi, size); ok {
+			return request{inPort: p, inVC: vc, ref: ref, size: int32(size), outPort: plan.outPort,
 				destVC: destVC, outKind: plan.outKind}, true
 		}
 	}
-	if plan.escValid && r.outputs[plan.escOutPort].CanAccept(pkt.Size) {
-		if destVC, ok := r.selectVC(plan.escOutPort, plan.escLo, plan.escHi, pkt.Size); ok {
-			return request{inPort: p, inVC: vc, pkt: pkt, outPort: plan.escOutPort,
+	if plan.escValid && r.outputs[plan.escOutPort].CanAccept(size) {
+		if destVC, ok := r.selectVC(plan.escOutPort, plan.escLo, plan.escHi, size); ok {
+			return request{inPort: p, inVC: vc, ref: ref, size: int32(size), outPort: plan.escOutPort,
 				destVC: destVC, outKind: plan.escOutKind, revert: true}, true
 		}
 	}
@@ -697,67 +725,61 @@ func (r *Router) selectVC(outPort, lo, hi, size int) (int, bool) {
 // it frees upstream.
 func (r *Router) grant(now int64, req request) {
 	in := r.inputs[req.inPort]
-	pkt, resKind := in.Dequeue(req.inVC)
-	if pkt != req.pkt {
+	ref, resKind := in.Dequeue(req.inVC)
+	if ref != req.ref {
 		panic(fmt.Sprintf("router %d: allocator granted VC %d of port %d but its head changed", r.id, req.inVC, req.inPort))
 	}
 	r.grantCount++
-	if r.maskable {
-		if in.QueueLen(req.inVC) == 0 {
-			r.headVCs[req.inPort] &^= 1 << uint(req.inVC)
-			if r.headVCs[req.inPort] == 0 {
-				r.liveIn &^= 1 << uint(req.inPort)
-			}
-		}
-		r.xmitLive |= 1 << uint(req.outPort)
-	}
+	r.noteDequeue(req.inPort, req.inVC)
+	r.xmit.add(req.outPort)
 
-	size := pkt.Size
+	size := int(req.size)
 	transfer := int64((size + r.params.Speedup - 1) / r.params.Speedup)
 	creditDelay := transfer + r.linkLat[req.inPort]
 	r.env.ScheduleCredit(creditDelay, in, req.inVC, size, resKind)
 
+	rt := r.store.Route(ref)
 	if req.terminal {
-		r.eject[req.outPort][req.class].Push(pkt, 0, pkt.Route.Kind, now+transfer)
+		r.eject[req.outPort][req.class].Push(ref, size, 0, rt.Kind, now+transfer)
 		return
 	}
 
 	down := r.downstream(req.outPort)
-	if !down.Reserve(req.destVC, size, pkt.Route.Kind) {
+	if !down.Reserve(req.destVC, size, rt.Kind) {
 		panic(fmt.Sprintf("router %d: downstream VC %d of port %d lost its credits between check and grant", r.id, req.destVC, req.outPort))
 	}
 	if req.revert {
 		// The escape request won: abandon the Valiant detour and head
 		// straight to the destination from here on.
-		pkt.Route.Phase = packet.PhaseToDestination
+		rt.Phase = packet.PhaseToDestination
 	}
-	pkt.Route.InputVC = req.destVC
+	rt.InputVC = int32(req.destVC)
 	switch req.outKind {
 	case topology.Local:
-		pkt.Route.LocalHops++
+		rt.LocalHops++
 	case topology.Global:
-		pkt.Route.GlobalHops++
+		rt.GlobalHops++
 	}
-	pkt.Route.Hops++
-	r.outputs[req.outPort].Push(pkt, req.destVC, pkt.Route.Kind, now+transfer)
+	rt.Hops++
+	r.outputs[req.outPort].Push(ref, size, req.destVC, rt.Kind, now+transfer)
 }
 
 // transmit drains output buffers onto their links and ejection channels onto
 // the terminal links, one packet at a time at one phit per cycle. Only ports
 // with staged packets are visited (in ascending port order, matching the full
-// scan); a port's mask bit is cleared once all its staging buffers drain.
+// scan); a port leaves the activity list once all its staging buffers drain.
+// Removal shifts the remaining (higher) ports left, so not advancing the
+// index after a removal preserves the ascending visit order.
 func (r *Router) transmit(now int64) {
-	if !r.maskable {
-		for p := 0; p < r.numPorts; p++ {
-			r.transmitPort(now, p)
-		}
-		return
-	}
-	for m := r.xmitLive; m != 0; {
-		p := bits.TrailingZeros64(m)
-		m &^= 1 << uint(p)
+	l := &r.xmit
+	for i := 0; i < len(l.ports); {
+		p := int(l.ports[i])
 		if r.transmitPort(now, p) {
-			r.xmitLive &^= 1 << uint(p)
+			l.in[p] = false
+			copy(l.ports[i:], l.ports[i+1:])
+			l.ports = l.ports[:len(l.ports)-1]
+		} else {
+			i++
 		}
 	}
 }
@@ -783,26 +805,26 @@ func (r *Router) transmitLink(now int64, p int) {
 	if r.linkBusy[p] > now {
 		return
 	}
-	pkt, destVC, kind := r.outputs[p].Head(now)
-	if pkt == nil {
+	ref, size, destVC, kind := r.outputs[p].Head(now)
+	if ref == packet.NilRef {
 		return
 	}
 	r.outputs[p].Pop()
 	r.pending--
-	r.linkBusy[p] = now + int64(pkt.Size)
-	r.env.ScheduleArrival(r.linkLat[p]+int64(pkt.Size), r.nbrs[p], r.nbrPorts[p], destVC, pkt, kind)
+	r.linkBusy[p] = now + int64(size)
+	r.env.ScheduleArrival(r.linkLat[p]+int64(size), r.nbrs[p], r.nbrPorts[p], destVC, ref, kind)
 }
 
 func (r *Router) transmitEject(now int64, p, c int) {
 	if r.ejBusy[p][c] > now {
 		return
 	}
-	pkt, _, _ := r.eject[p][c].Head(now)
-	if pkt == nil {
+	ref, size, _, _ := r.eject[p][c].Head(now)
+	if ref == packet.NilRef {
 		return
 	}
 	r.eject[p][c].Pop()
 	r.pending--
-	r.ejBusy[p][c] = now + int64(pkt.Size)
-	r.env.ScheduleDelivery(int64(r.params.InjectionLatency+pkt.Size), pkt)
+	r.ejBusy[p][c] = now + int64(size)
+	r.env.ScheduleDelivery(int64(r.params.InjectionLatency+size), ref)
 }

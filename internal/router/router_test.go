@@ -19,35 +19,36 @@ type fakeEnv struct {
 		delay int64
 		port  int
 		vc    int
-		pkt   *packet.Packet
+		ref   packet.Ref
 	}
 	credits    int
-	deliveries []*packet.Packet
+	deliveries []packet.Ref
 }
 
 func (f *fakeEnv) DownstreamInput(r packet.RouterID, port int) *buffer.InputBuffer {
 	return f.downstream[port]
 }
 
-func (f *fakeEnv) ScheduleArrival(delay int64, to packet.RouterID, port, vc int, pkt *packet.Packet, kind packet.RouteKind) {
+func (f *fakeEnv) ScheduleArrival(delay int64, to packet.RouterID, port, vc int, ref packet.Ref, kind packet.RouteKind) {
 	f.arrivals = append(f.arrivals, struct {
 		delay int64
 		port  int
 		vc    int
-		pkt   *packet.Packet
-	}{delay, port, vc, pkt})
+		ref   packet.Ref
+	}{delay, port, vc, ref})
 }
 
 func (f *fakeEnv) ScheduleCredit(delay int64, buf *buffer.InputBuffer, vc, size int, kind packet.RouteKind) {
 	f.credits++
 }
 
-func (f *fakeEnv) ScheduleDelivery(delay int64, pkt *packet.Packet) {
-	f.deliveries = append(f.deliveries, pkt)
+func (f *fakeEnv) ScheduleDelivery(delay int64, ref packet.Ref) {
+	f.deliveries = append(f.deliveries, ref)
 }
 
-func testParams(numClasses int) Params {
+func testParams(numClasses int, store *packet.Store) Params {
 	return Params{
+		Store:            store,
 		Speedup:          2,
 		Pipeline:         2,
 		OutputBufPhits:   32,
@@ -62,14 +63,15 @@ func testParams(numClasses int) Params {
 	}
 }
 
-func buildRouter(t *testing.T) (*Router, *fakeEnv, *topology.Dragonfly) {
+func buildRouter(t testing.TB) (*Router, *fakeEnv, *topology.Dragonfly, *packet.Store) {
 	t.Helper()
 	topo, err := topology.NewDragonfly(2, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
+	store := packet.NewStore()
 	scheme := core.Scheme{Policy: core.FlexVC, VCs: core.SingleClass(2, 1), Selection: core.JSQ}
-	rt, err := New(0, topo, scheme, routing.NewMinimal(topo), testParams(1), 7)
+	rt, err := New(0, topo, scheme, routing.NewMinimal(topo), testParams(1, store), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,16 +84,18 @@ func buildRouter(t *testing.T) (*Router, *fakeEnv, *topology.Dragonfly) {
 		env.downstream[p] = buffer.NewInputBuffer(buffer.StaticConfig(numVCs, 64))
 	}
 	rt.SetEnv(env)
-	return rt, env, topo
+	return rt, env, topo, store
 }
 
 // TestParamsValidation checks the parameter guard rails.
 func TestParamsValidation(t *testing.T) {
-	good := testParams(1)
+	store := packet.NewStore()
+	good := testParams(1, store)
 	if err := good.Validate(); err != nil {
 		t.Fatalf("valid params rejected: %v", err)
 	}
 	bad := []func(*Params){
+		func(p *Params) { p.Store = nil },
 		func(p *Params) { p.Speedup = 0 },
 		func(p *Params) { p.Pipeline = -1 },
 		func(p *Params) { p.OutputBufPhits = 0 },
@@ -100,7 +104,7 @@ func TestParamsValidation(t *testing.T) {
 		func(p *Params) { p.BufferConfig = nil },
 	}
 	for i, mut := range bad {
-		p := testParams(1)
+		p := testParams(1, store)
 		mut(&p)
 		if err := p.Validate(); err == nil {
 			t.Errorf("bad params %d accepted", i)
@@ -115,24 +119,32 @@ func TestParamsValidation(t *testing.T) {
 // and checks that it is allocated, consumes downstream credits and leaves on
 // the right link.
 func TestForwardMinimalPacket(t *testing.T) {
-	rt, env, topo := buildRouter(t)
+	rt, env, topo, store := buildRouter(t)
 
 	// A packet from node 0 (attached to router 0) to a node of another
 	// group, so its first hop is deterministic.
 	dst := topo.NodeAt(topo.RouterInGroup(1, 0), 0)
-	pkt := packet.New(1, topo.NodeAt(0, 0), dst, 8, packet.Request, 0)
-	pkt.SrcRouter = 0
-	pkt.DstRouter = topo.RouterOfNode(dst)
+	ref := store.Alloc(1, topo.NodeAt(0, 0), dst, 8, packet.Request, 0)
+	hdr := store.Hdr(ref)
+	hdr.SrcRouter = 0
+	hdr.DstRouter = topo.RouterOfNode(dst)
+	dstRouter := hdr.DstRouter
 
 	inj := rt.Input(0)
-	if !inj.Reserve(0, pkt.Size, packet.Minimal) {
+	if !inj.Reserve(0, 8, packet.Minimal) {
 		t.Fatal("injection buffer should have room")
 	}
-	rt.EnqueueArrival(0, 0, pkt, 0, packet.Minimal)
+	rt.EnqueueArrival(0, 0, ref, 0, packet.Minimal)
+	if err := rt.AuditActivity(); err != nil {
+		t.Fatal(err)
+	}
 
-	wantPort := topo.NextMinimalPort(0, pkt.DstRouter)
+	wantPort := topo.NextMinimalPort(0, dstRouter)
 	for cyc := int64(0); cyc < 40 && len(env.arrivals) == 0; cyc++ {
 		rt.Step(cyc)
+		if err := rt.AuditActivity(); err != nil {
+			t.Fatalf("cycle %d: %v", cyc, err)
+		}
 	}
 	if len(env.arrivals) != 1 {
 		t.Fatalf("expected one arrival, got %d", len(env.arrivals))
@@ -145,14 +157,15 @@ func TestForwardMinimalPacket(t *testing.T) {
 	if arr.port != wantInPort {
 		t.Errorf("packet left through the wrong link (arrives at port %d, want %d)", arr.port, wantInPort)
 	}
-	if env.downstream[wantPort].CommittedOf(arr.vc) != pkt.Size {
+	if env.downstream[wantPort].CommittedOf(arr.vc) != 8 {
 		t.Error("downstream credits were not consumed")
 	}
 	if env.credits == 0 {
 		t.Error("the input buffer credit return was never scheduled")
 	}
-	if pkt.Route.Hops != 1 || pkt.Route.InputVC != arr.vc {
-		t.Errorf("route state not updated: %+v", pkt.Route)
+	rtState := store.Route(ref)
+	if rtState.Hops != 1 || int(rtState.InputVC) != arr.vc {
+		t.Errorf("route state not updated: %+v", *rtState)
 	}
 	if rt.ResidentPackets() != 0 {
 		t.Error("packet should have left the router")
@@ -166,8 +179,9 @@ func TestEjectionByClass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	store := packet.NewStore()
 	scheme := core.Scheme{Policy: core.Baseline, VCs: core.TwoClass(2, 1, 2, 1), Selection: core.JSQ}
-	rt, err := New(0, topo, scheme, routing.NewMinimal(topo), testParams(2), 7)
+	rt, err := New(0, topo, scheme, routing.NewMinimal(topo), testParams(2, store), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,36 +189,38 @@ func TestEjectionByClass(t *testing.T) {
 	rt.SetEnv(env)
 
 	// A reply arriving on a local input port, destined to node 1 of router 0.
-	pkt := packet.New(2, topo.NodeAt(5, 0), topo.NodeAt(0, 1), 8, packet.Reply, 0)
-	pkt.SrcRouter = 5
-	pkt.DstRouter = 0
-	pkt.Route.InputVC = 2
+	ref := store.Alloc(2, topo.NodeAt(5, 0), topo.NodeAt(0, 1), 8, packet.Reply, 0)
+	hdr := store.Hdr(ref)
+	hdr.SrcRouter = 5
+	hdr.DstRouter = 0
+	store.Route(ref).InputVC = 2
 	localPort := topo.FirstLocalPort()
-	rt.Input(localPort).Reserve(2, pkt.Size, packet.Minimal)
-	rt.EnqueueArrival(localPort, 2, pkt, 0, packet.Minimal)
+	rt.Input(localPort).Reserve(2, 8, packet.Minimal)
+	rt.EnqueueArrival(localPort, 2, ref, 0, packet.Minimal)
 
 	for cyc := int64(0); cyc < 40 && len(env.deliveries) == 0; cyc++ {
 		rt.Step(cyc)
 	}
-	if len(env.deliveries) != 1 || env.deliveries[0] != pkt {
+	if len(env.deliveries) != 1 || env.deliveries[0] != ref {
 		t.Fatalf("reply was not delivered (deliveries=%d)", len(env.deliveries))
 	}
 }
 
-// TestNonMaskableFallbackEquivalence pins the claim that the mask-driven
-// allocation/transmit passes are bit-identical to the full-scan fallback
-// (used when a geometry exceeds 64 ports or VCs, which no shipped
-// configuration does): two routers built identically — one forced onto the
-// fallback — must produce the same grant count and the same arrival, credit
-// and delivery sequences for the same workload.
-func TestNonMaskableFallbackEquivalence(t *testing.T) {
-	build := func() (*Router, *fakeEnv, *topology.Dragonfly) {
+// TestVCMaskFallbackEquivalence pins the claim that the VC-occupancy-mask
+// proposal pass is bit-identical to the full-VC-scan fallback (used when a
+// port has more than 64 VCs, which no shipped configuration does): two
+// routers built identically — one forced onto the fallback — must produce
+// the same grant count and the same arrival, credit and delivery sequences
+// for the same workload.
+func TestVCMaskFallbackEquivalence(t *testing.T) {
+	build := func() (*Router, *fakeEnv, *topology.Dragonfly, *packet.Store) {
 		topo, err := topology.NewDragonfly(2, 4, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
+		store := packet.NewStore()
 		scheme := core.Scheme{Policy: core.FlexVC, VCs: core.SingleClass(4, 2), Selection: core.JSQ}
-		rt, err := New(0, topo, scheme, routing.NewValiant(topo), testParams(1), 7)
+		rt, err := New(0, topo, scheme, routing.NewValiant(topo), testParams(1, store), 7)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -217,38 +233,47 @@ func TestNonMaskableFallbackEquivalence(t *testing.T) {
 			env.downstream[p] = buffer.NewInputBuffer(buffer.StaticConfig(numVCs, 24))
 		}
 		rt.SetEnv(env)
-		return rt, env, topo
+		return rt, env, topo, store
 	}
-	masked, envA, topo := build()
-	fallback, envB, _ := build()
-	fallback.maskable = false
-	if !masked.maskable {
+	masked, envA, topo, storeA := build()
+	fallback, envB, _, storeB := build()
+	for p := range fallback.vcMaskOK {
+		fallback.vcMaskOK[p] = false
+	}
+	if !masked.vcMaskOK[0] {
 		t.Fatal("test router unexpectedly non-maskable; the comparison is vacuous")
 	}
 
 	// Inject a mixed workload: several packets per injection VC toward
 	// different destinations, so allocation contends across VCs and ports.
-	feed := func(rt *Router) {
+	feed := func(rt *Router, store *packet.Store) {
 		id := uint64(1)
-		for vc := 0; vc < testParams(1).InjectionQueues; vc++ {
+		for vc := 0; vc < testParams(1, store).InjectionQueues; vc++ {
 			for i := 0; i < 3; i++ {
 				dst := topo.NodeAt(topo.RouterInGroup(1+i%2, (i+vc)%4), 0)
-				pkt := packet.New(id, topo.NodeAt(0, 0), dst, 8, packet.Request, 0)
+				ref := store.Alloc(id, topo.NodeAt(0, 0), dst, 8, packet.Request, 0)
 				id++
-				pkt.SrcRouter = 0
-				pkt.DstRouter = topo.RouterOfNode(dst)
-				if rt.Input(0).Reserve(vc, pkt.Size, packet.Minimal) {
-					rt.EnqueueArrival(0, vc, pkt, 0, packet.Minimal)
+				hdr := store.Hdr(ref)
+				hdr.SrcRouter = 0
+				hdr.DstRouter = topo.RouterOfNode(dst)
+				if rt.Input(0).Reserve(vc, 8, packet.Minimal) {
+					rt.EnqueueArrival(0, vc, ref, 0, packet.Minimal)
 				}
 			}
 		}
 	}
-	feed(masked)
-	feed(fallback)
+	feed(masked, storeA)
+	feed(fallback, storeB)
 
 	for cyc := int64(0); cyc < 200; cyc++ {
 		masked.Step(cyc)
 		fallback.Step(cyc)
+		if err := masked.AuditActivity(); err != nil {
+			t.Fatalf("masked cycle %d: %v", cyc, err)
+		}
+		if err := fallback.AuditActivity(); err != nil {
+			t.Fatalf("fallback cycle %d: %v", cyc, err)
+		}
 	}
 
 	if masked.Grants() != fallback.Grants() {
@@ -263,9 +288,9 @@ func TestNonMaskableFallbackEquivalence(t *testing.T) {
 	}
 	for i := range envA.arrivals {
 		a, b := envA.arrivals[i], envB.arrivals[i]
-		if a.delay != b.delay || a.port != b.port || a.vc != b.vc || a.pkt.ID != b.pkt.ID {
+		if a.delay != b.delay || a.port != b.port || a.vc != b.vc || storeA.Hdr(a.ref).ID != storeB.Hdr(b.ref).ID {
 			t.Fatalf("arrival %d diverges: masked %+v (pkt %d), fallback %+v (pkt %d)",
-				i, a, a.pkt.ID, b, b.pkt.ID)
+				i, a, storeA.Hdr(a.ref).ID, b, storeB.Hdr(b.ref).ID)
 		}
 	}
 }

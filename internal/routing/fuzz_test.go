@@ -45,7 +45,9 @@ func FuzzPathValidity(f *testing.F) {
 		srcNode := topo.NodeAt(src, 0)
 		dstNode := topo.NodeAt(dst, 0)
 
-		pkt := packet.New(1, srcNode, dstNode, 8, packet.Request, 0)
+		pkt := &testPkt{}
+		pkt.ID, pkt.Src, pkt.Dst, pkt.Size, pkt.Class = 1, srcNode, dstNode, 8, packet.Request
+		pkt.Route.Reset()
 		pkt.SrcRouter = src
 		pkt.DstRouter = dst
 
@@ -65,7 +67,7 @@ func FuzzPathValidity(f *testing.F) {
 				t.Fatalf("%v route %d->%d exceeded MaxPlannedHops %+v (route state %+v)",
 					alg.Kind(), src, dst, need, pkt.Route)
 			}
-			dec := alg.Route(cur, pkt, rng)
+			dec := alg.Route(cur, &pkt.Header, &pkt.Route, rng)
 			if dec.Deliver {
 				if cur != dst {
 					t.Fatalf("%v delivered at router %d, destination is %d", alg.Kind(), cur, dst)
@@ -86,13 +88,13 @@ func FuzzPathValidity(f *testing.F) {
 				Kind:         kind,
 				InputKind:    topology.Terminal,
 				InputVC:      -1,
-				RefPosition:  BaselinePosition(topo, pkt),
-				PlannedAfter: PlannedRemaining(topo, next, pkt),
-				EscapeAfter:  EscapeRemaining(topo, next, pkt),
+				RefPosition:  BaselinePosition(topo, &pkt.Route),
+				PlannedAfter: PlannedRemaining(topo, next, &pkt.Route, pkt.DstRouter),
+				EscapeAfter:  EscapeRemaining(topo, next, pkt.DstRouter),
 			}
 			if hop > 0 {
 				ctx.InputKind = lastKind
-				ctx.InputVC = pkt.Route.InputVC
+				ctx.InputVC = int(pkt.Route.InputVC)
 			}
 			fr := flex.AllowedVCs(ctx)
 			if fr.Empty() {
@@ -109,7 +111,7 @@ func FuzzPathValidity(f *testing.F) {
 			}
 
 			// Advance the packet the way the router's grant path would.
-			pkt.Route.InputVC = fr.Lo
+			pkt.Route.InputVC = int32(fr.Lo)
 			if kind == topology.Global {
 				pkt.Route.GlobalHops++
 			} else {

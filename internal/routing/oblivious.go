@@ -20,10 +20,10 @@ func (m *Minimal) Kind() Kind { return MIN }
 func (m *Minimal) MaxPlannedHops() topology.HopCount { return m.topo.Diameter() }
 
 // Route implements Algorithm.
-func (m *Minimal) Route(cur packet.RouterID, pkt *packet.Packet, _ RandSource) Decision {
-	pkt.Route.Kind = packet.Minimal
-	pkt.Route.Phase = packet.PhaseToDestination
-	return routeToward(m.topo, cur, pkt)
+func (m *Minimal) Route(cur packet.RouterID, hdr *packet.Header, rt *packet.RouteState, _ RandSource) Decision {
+	rt.Kind = packet.Minimal
+	rt.Phase = packet.PhaseToDestination
+	return routeToward(m.topo, cur, rt, hdr.DstRouter)
 }
 
 // Valiant routes every packet minimally to a uniformly random intermediate
@@ -44,15 +44,14 @@ func (v *Valiant) Kind() Kind { return VAL }
 func (v *Valiant) MaxPlannedHops() topology.HopCount { return v.topo.MaxValiantHops() }
 
 // Route implements Algorithm.
-func (v *Valiant) Route(cur packet.RouterID, pkt *packet.Packet, rng RandSource) Decision {
-	r := &pkt.Route
-	if !r.AdaptiveDecided {
-		r.AdaptiveDecided = true
-		r.Kind = packet.Nonminimal
-		r.Phase = packet.PhaseToIntermediate
-		r.Intermediate = RandomIntermediate(v.topo, rng)
+func (v *Valiant) Route(cur packet.RouterID, hdr *packet.Header, rt *packet.RouteState, rng RandSource) Decision {
+	if !rt.AdaptiveDecided {
+		rt.AdaptiveDecided = true
+		rt.Kind = packet.Nonminimal
+		rt.Phase = packet.PhaseToIntermediate
+		rt.Intermediate = RandomIntermediate(v.topo, rng)
 	}
-	return routeToward(v.topo, cur, pkt)
+	return routeToward(v.topo, cur, rt, hdr.DstRouter)
 }
 
 // RandomIntermediate draws a uniformly random intermediate router for Valiant

@@ -48,43 +48,42 @@ func (p *Progressive) MaxPlannedHops() topology.HopCount {
 }
 
 // Route implements Algorithm.
-func (p *Progressive) Route(cur packet.RouterID, pkt *packet.Packet, rng RandSource) Decision {
-	r := &pkt.Route
-	if !r.AdaptiveDecided {
-		inSourceGroup := p.topo.GroupOf(cur) == p.topo.GroupOf(pkt.SrcRouter)
+func (p *Progressive) Route(cur packet.RouterID, hdr *packet.Header, rt *packet.RouteState, rng RandSource) Decision {
+	if !rt.AdaptiveDecided {
+		inSourceGroup := p.topo.GroupOf(cur) == p.topo.GroupOf(hdr.SrcRouter)
 		switch {
 		case !inSourceGroup:
 			// The packet left the source group minimally: commit to MIN.
-			r.AdaptiveDecided = true
-		case p.shouldDivert(cur, pkt):
-			r.AdaptiveDecided = true
-			r.Kind = packet.Nonminimal
-			r.Phase = packet.PhaseToIntermediate
-			r.Intermediate = RandomIntermediate(p.topo, rng)
-			r.DivertPrefixLocal = r.LocalHops
-		case r.Hops >= 1:
+			rt.AdaptiveDecided = true
+		case p.shouldDivert(cur, hdr):
+			rt.AdaptiveDecided = true
+			rt.Kind = packet.Nonminimal
+			rt.Phase = packet.PhaseToIntermediate
+			rt.Intermediate = RandomIntermediate(p.topo, rng)
+			rt.DivertPrefixLocal = rt.LocalHops
+		case rt.Hops >= 1:
 			// Already took an in-group hop without diverting: commit to MIN
 			// rather than wandering inside the source group.
-			r.AdaptiveDecided = true
+			rt.AdaptiveDecided = true
 		}
 	}
-	return routeToward(p.topo, cur, pkt)
+	return routeToward(p.topo, cur, rt, hdr.DstRouter)
 }
 
 // shouldDivert compares the congestion of the next minimal hop against the
 // configured threshold. Unlike PB there is no remote information: only the
 // local occupancy of the candidate output port is observed.
-func (p *Progressive) shouldDivert(cur packet.RouterID, pkt *packet.Packet) bool {
-	if cur == pkt.DstRouter {
+func (p *Progressive) shouldDivert(cur packet.RouterID, hdr *packet.Header) bool {
+	if cur == hdr.DstRouter {
 		return false
 	}
-	minPort := p.topo.NextMinimalPort(cur, pkt.DstRouter)
+	minPort := p.topo.NextMinimalPort(cur, hdr.DstRouter)
 	if minPort < 0 {
 		return false
 	}
 	vc := -1
 	if p.cfg.Sensing == SensePerVC {
-		vc = p.cfg.ClassVC[pkt.Class]
+		vc = p.cfg.ClassVC[hdr.Class]
 	}
 	occ := p.probe.OutputOccupancy(cur, minPort, vc, p.cfg.MinCredOnly)
 	capacity := p.probe.OutputCapacity(cur, minPort, vc)

@@ -174,51 +174,50 @@ func (p *Piggyback) MaxPlannedHops() topology.HopCount { return p.topo.MaxValian
 func (p *Piggyback) Manager() *PBManager { return p.manager }
 
 // Route implements Algorithm.
-func (p *Piggyback) Route(cur packet.RouterID, pkt *packet.Packet, rng RandSource) Decision {
-	r := &pkt.Route
-	if !r.AdaptiveDecided && cur == pkt.SrcRouter {
-		r.AdaptiveDecided = true
-		if p.shouldMisroute(cur, pkt, rng) {
-			r.Kind = packet.Nonminimal
-			r.Phase = packet.PhaseToIntermediate
-			r.Intermediate = RandomIntermediate(p.topo, rng)
+func (p *Piggyback) Route(cur packet.RouterID, hdr *packet.Header, rt *packet.RouteState, rng RandSource) Decision {
+	if !rt.AdaptiveDecided && cur == hdr.SrcRouter {
+		rt.AdaptiveDecided = true
+		if p.shouldMisroute(cur, hdr, rng) {
+			rt.Kind = packet.Nonminimal
+			rt.Phase = packet.PhaseToIntermediate
+			rt.Intermediate = RandomIntermediate(p.topo, rng)
 		} else {
-			r.Kind = packet.Minimal
-			r.Phase = packet.PhaseToDestination
+			rt.Kind = packet.Minimal
+			rt.Phase = packet.PhaseToDestination
 		}
 	}
-	return routeToward(p.topo, cur, pkt)
+	return routeToward(p.topo, cur, rt, hdr.DstRouter)
 }
 
 // shouldMisroute applies the PB decision rule at injection.
-func (p *Piggyback) shouldMisroute(cur packet.RouterID, pkt *packet.Packet, rng RandSource) bool {
+func (p *Piggyback) shouldMisroute(cur packet.RouterID, hdr *packet.Header, rng RandSource) bool {
 	srcGroup := p.topo.GroupOf(cur)
-	dstGroup := p.topo.GroupOf(pkt.DstRouter)
+	dstGroup := p.topo.GroupOf(hdr.DstRouter)
 	if srcGroup == dstGroup {
 		// Intra-group traffic is always sent minimally.
 		return false
 	}
-	if p.manager.MinimalGlobalSaturated(pkt.Class, srcGroup, dstGroup) {
+	if p.manager.MinimalGlobalSaturated(hdr.Class, srcGroup, dstGroup) {
 		return true
 	}
 	// Local credit comparison between the first hop of the minimal path and
 	// the first hop of a candidate Valiant path (UGAL-style, weighted by
 	// path length).
 	candidate := RandomIntermediate(p.topo, rng)
-	minPort := p.topo.NextMinimalPort(cur, pkt.DstRouter)
+	minPort := p.topo.NextMinimalPort(cur, hdr.DstRouter)
 	valTarget := candidate
 	if valTarget == cur {
-		valTarget = pkt.DstRouter
+		valTarget = hdr.DstRouter
 	}
 	valPort := p.topo.NextMinimalPort(cur, valTarget)
 	if minPort < 0 || valPort < 0 {
 		return false
 	}
-	vc := p.manager.senseVC(pkt.Class)
+	vc := p.manager.senseVC(hdr.Class)
 	qMin := p.probe.OutputOccupancy(cur, minPort, vc, p.cfg.MinCredOnly)
 	qVal := p.probe.OutputOccupancy(cur, valPort, vc, p.cfg.MinCredOnly)
-	lenMin := p.topo.MinimalHops(cur, pkt.DstRouter).Total()
-	lenVal := p.topo.MinimalHops(cur, candidate).Total() + p.topo.MinimalHops(candidate, pkt.DstRouter).Total()
+	lenMin := p.topo.MinimalHops(cur, hdr.DstRouter).Total()
+	lenVal := p.topo.MinimalHops(cur, candidate).Total() + p.topo.MinimalHops(candidate, hdr.DstRouter).Total()
 	if lenVal == 0 {
 		return false
 	}

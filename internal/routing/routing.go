@@ -141,10 +141,11 @@ type Decision struct {
 type Algorithm interface {
 	// Kind returns the algorithm identifier.
 	Kind() Kind
-	// Route returns the routing decision for pkt at router cur, updating
-	// the packet's route state (Valiant decisions, phase transitions) as a
-	// side effect. rng is the per-router deterministic random source.
-	Route(cur packet.RouterID, pkt *packet.Packet, rng RandSource) Decision
+	// Route returns the routing decision at router cur for the packet with
+	// the given header, updating its route state (Valiant decisions, phase
+	// transitions) in place. rng is the per-router deterministic random
+	// source.
+	Route(cur packet.RouterID, hdr *packet.Header, rt *packet.RouteState, rng RandSource) Decision
 	// MaxPlannedHops returns the worst-case hop count the algorithm can
 	// plan, used to validate VC configurations.
 	MaxPlannedHops() topology.HopCount
@@ -152,21 +153,21 @@ type Algorithm interface {
 
 // PlannedRemaining returns the hop-kind sequence remaining on the packet's
 // currently planned route from router `from` (exclusive) to its destination
-// router: through the Valiant intermediate while in the first phase, directly
-// otherwise.
-func PlannedRemaining(topo topology.Topology, from packet.RouterID, pkt *packet.Packet) topology.PathSeq {
-	if pkt.Route.Kind == packet.Nonminimal && pkt.Route.Phase == packet.PhaseToIntermediate {
-		a := topology.MinimalSeq(topo, from, pkt.Route.Intermediate)
-		b := topology.MinimalSeq(topo, pkt.Route.Intermediate, pkt.DstRouter)
+// router `dst`: through the Valiant intermediate while in the first phase,
+// directly otherwise.
+func PlannedRemaining(topo topology.Topology, from packet.RouterID, rt *packet.RouteState, dst packet.RouterID) topology.PathSeq {
+	if rt.Kind == packet.Nonminimal && rt.Phase == packet.PhaseToIntermediate {
+		a := topology.MinimalSeq(topo, from, rt.Intermediate)
+		b := topology.MinimalSeq(topo, rt.Intermediate, dst)
 		return a.Concat(b)
 	}
-	return topology.MinimalSeq(topo, from, pkt.DstRouter)
+	return topology.MinimalSeq(topo, from, dst)
 }
 
 // EscapeRemaining returns the hop-kind sequence of the minimal (escape) path
-// from router `from` to the packet's destination router.
-func EscapeRemaining(topo topology.Topology, from packet.RouterID, pkt *packet.Packet) topology.PathSeq {
-	return topology.MinimalSeq(topo, from, pkt.DstRouter)
+// from router `from` to the packet's destination router `dst`.
+func EscapeRemaining(topo topology.Topology, from, dst packet.RouterID) topology.PathSeq {
+	return topology.MinimalSeq(topo, from, dst)
 }
 
 // BaselinePosition returns the position of the packet's next hop within the
@@ -183,18 +184,17 @@ func EscapeRemaining(topo topology.Topology, from packet.RouterID, pkt *packet.P
 //     before the diversion (the l0-l1-g2-... reference).
 //   - Flat topologies (all links Local, no skippable hops that could break
 //     the order) simply use the number of hops of that kind already taken.
-func BaselinePosition(topo topology.Topology, pkt *packet.Packet) topology.HopCount {
-	r := &pkt.Route
+func BaselinePosition(topo topology.Topology, rt *packet.RouteState) topology.HopCount {
 	if _, hierarchical := topo.(*topology.Dragonfly); !hierarchical {
-		return topology.HopCount{Local: r.LocalHops, Global: r.GlobalHops}
+		return topology.HopCount{Local: int(rt.LocalHops), Global: int(rt.GlobalHops)}
 	}
-	pos := topology.HopCount{Local: r.GlobalHops, Global: r.GlobalHops}
-	if r.Kind == packet.Nonminimal {
-		if r.Phase == packet.PhaseToDestination {
+	pos := topology.HopCount{Local: int(rt.GlobalHops), Global: int(rt.GlobalHops)}
+	if rt.Kind == packet.Nonminimal {
+		if rt.Phase == packet.PhaseToDestination {
 			pos.Local++
 		}
-		if r.DivertPrefixLocal > 0 {
-			pos.Local += r.DivertPrefixLocal
+		if rt.DivertPrefixLocal > 0 {
+			pos.Local += int(rt.DivertPrefixLocal)
 		}
 	}
 	return pos
@@ -204,23 +204,22 @@ func BaselinePosition(topo topology.Topology, pkt *packet.Packet) topology.HopCo
 // minimally: the Valiant intermediate during the first phase, the destination
 // otherwise. It also performs the phase transition once the intermediate has
 // been reached.
-func currentTarget(cur packet.RouterID, pkt *packet.Packet) packet.RouterID {
-	r := &pkt.Route
-	if r.Kind == packet.Nonminimal && r.Phase == packet.PhaseToIntermediate {
-		if cur == r.Intermediate {
-			r.Phase = packet.PhaseToDestination
+func currentTarget(cur packet.RouterID, rt *packet.RouteState, dst packet.RouterID) packet.RouterID {
+	if rt.Kind == packet.Nonminimal && rt.Phase == packet.PhaseToIntermediate {
+		if cur == rt.Intermediate {
+			rt.Phase = packet.PhaseToDestination
 		} else {
-			return r.Intermediate
+			return rt.Intermediate
 		}
 	}
-	return pkt.DstRouter
+	return dst
 }
 
 // routeToward resolves the next minimal hop toward the packet's current
 // target, or delivery when the destination router has been reached.
-func routeToward(topo topology.Topology, cur packet.RouterID, pkt *packet.Packet) Decision {
-	target := currentTarget(cur, pkt)
-	if cur == pkt.DstRouter && target == pkt.DstRouter {
+func routeToward(topo topology.Topology, cur packet.RouterID, rt *packet.RouteState, dst packet.RouterID) Decision {
+	target := currentTarget(cur, rt, dst)
+	if cur == dst && target == dst {
 		return Decision{OutPort: -1, Deliver: true}
 	}
 	return Decision{OutPort: topo.NextMinimalPort(cur, target)}

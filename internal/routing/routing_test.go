@@ -33,9 +33,16 @@ func (f *fakeProbe) OutputCapacity(r packet.RouterID, port int, vc int) int {
 	return f.cap
 }
 
+// testPkt pairs a header with its route state the way the store keeps them in
+// parallel arrays, so routing tests can walk a standalone packet.
+type testPkt struct {
+	packet.Header
+	Route packet.RouteState
+}
+
 // walk routes a packet hop by hop until delivery, returning the sequence of
 // port kinds traversed. It fails the test if the route does not converge.
-func walk(t *testing.T, topo topology.Topology, alg Algorithm, pkt *packet.Packet, rng RandSource) []topology.PortKind {
+func walk(t *testing.T, topo topology.Topology, alg Algorithm, pkt *testPkt, rng RandSource) []topology.PortKind {
 	t.Helper()
 	var kinds []topology.PortKind
 	cur := pkt.SrcRouter
@@ -43,7 +50,7 @@ func walk(t *testing.T, topo topology.Topology, alg Algorithm, pkt *packet.Packe
 		if hops > 16 {
 			t.Fatalf("route %d->%d did not converge", pkt.Src, pkt.Dst)
 		}
-		dec := alg.Route(cur, pkt, rng)
+		dec := alg.Route(cur, &pkt.Header, &pkt.Route, rng)
 		if dec.Deliver {
 			return kinds
 		}
@@ -60,8 +67,10 @@ func walk(t *testing.T, topo topology.Topology, alg Algorithm, pkt *packet.Packe
 	}
 }
 
-func newPacket(topo topology.Topology, src, dst packet.NodeID) *packet.Packet {
-	p := packet.New(1, src, dst, 8, packet.Request, 0)
+func newPacket(topo topology.Topology, src, dst packet.NodeID) *testPkt {
+	p := &testPkt{}
+	p.ID, p.Src, p.Dst, p.Size, p.Class = 1, src, dst, 8, packet.Request
+	p.Route.Reset()
 	p.SrcRouter = topo.RouterOfNode(src)
 	p.DstRouter = topo.RouterOfNode(dst)
 	return p
@@ -139,31 +148,31 @@ func TestBaselinePositionDragonfly(t *testing.T) {
 
 	// Minimal packet in its source group.
 	pkt.Route.Kind = packet.Minimal
-	if pos := BaselinePosition(topo, pkt); pos.Local != 0 || pos.Global != 0 {
+	if pos := BaselinePosition(topo, &pkt.Route); pos.Local != 0 || pos.Global != 0 {
 		t.Errorf("source-group minimal position = %+v", pos)
 	}
 	// After the global hop.
 	pkt.Route.GlobalHops = 1
-	if pos := BaselinePosition(topo, pkt); pos.Local != 1 || pos.Global != 1 {
+	if pos := BaselinePosition(topo, &pkt.Route); pos.Local != 1 || pos.Global != 1 {
 		t.Errorf("dest-group minimal position = %+v", pos)
 	}
 	// Valiant packet, second phase in the intermediate group.
 	pkt.Route.Kind = packet.Nonminimal
 	pkt.Route.Phase = packet.PhaseToDestination
 	pkt.Route.GlobalHops = 1
-	if pos := BaselinePosition(topo, pkt); pos.Local != 2 {
+	if pos := BaselinePosition(topo, &pkt.Route); pos.Local != 2 {
 		t.Errorf("post-intermediate Valiant local position = %+v", pos)
 	}
 	// Destination group of a Valiant path.
 	pkt.Route.GlobalHops = 2
-	if pos := BaselinePosition(topo, pkt); pos.Local != 3 || pos.Global != 2 {
+	if pos := BaselinePosition(topo, &pkt.Route); pos.Local != 3 || pos.Global != 2 {
 		t.Errorf("dest-group Valiant position = %+v", pos)
 	}
 	// PAR-diverted packets shift by the pre-diversion local hops.
 	pkt.Route.GlobalHops = 0
 	pkt.Route.Phase = packet.PhaseToIntermediate
 	pkt.Route.DivertPrefixLocal = 1
-	if pos := BaselinePosition(topo, pkt); pos.Local != 1 {
+	if pos := BaselinePosition(topo, &pkt.Route); pos.Local != 1 {
 		t.Errorf("PAR-diverted source-group position = %+v", pos)
 	}
 
@@ -171,7 +180,7 @@ func TestBaselinePositionDragonfly(t *testing.T) {
 	fb, _ := topology.NewFlattenedButterfly2D(3, 1)
 	fpkt := newPacket(fb, 0, 5)
 	fpkt.Route.LocalHops = 1
-	if pos := BaselinePosition(fb, fpkt); pos.Local != 1 {
+	if pos := BaselinePosition(fb, &fpkt.Route); pos.Local != 1 {
 		t.Errorf("flat position = %+v", pos)
 	}
 }
@@ -248,7 +257,7 @@ func TestPiggybackDecision(t *testing.T) {
 	dst := topo.NodeAt(topo.RouterInGroup(2, 1), 0)
 	pkt := newPacket(topo, 0, dst)
 	m.Update(0)
-	dec := pb.Route(pkt.SrcRouter, pkt, rng)
+	dec := pb.Route(pkt.SrcRouter, &pkt.Header, &pkt.Route, rng)
 	if pkt.Route.Kind != packet.Minimal {
 		t.Fatalf("uncongested PB decision should be minimal, got %v", pkt.Route.Kind)
 	}
@@ -262,14 +271,14 @@ func TestPiggybackDecision(t *testing.T) {
 	// Give the router a second, idle global port so the average stays low.
 	m.Update(0)
 	pkt2 := newPacket(topo, 0, dst)
-	pb.Route(pkt2.SrcRouter, pkt2, rng)
+	pb.Route(pkt2.SrcRouter, &pkt2.Header, &pkt2.Route, rng)
 	if pkt2.Route.Kind != packet.Nonminimal {
 		t.Fatal("PB should divert when the minimal global link is saturated")
 	}
 
 	// Intra-group traffic is always minimal.
 	pkt3 := newPacket(topo, 0, topo.NodeAt(3, 0))
-	pb.Route(pkt3.SrcRouter, pkt3, rng)
+	pb.Route(pkt3.SrcRouter, &pkt3.Header, &pkt3.Route, rng)
 	if pkt3.Route.Kind != packet.Minimal {
 		t.Fatal("intra-group traffic must stay minimal")
 	}
@@ -288,7 +297,7 @@ func TestProgressiveDiverts(t *testing.T) {
 
 	dst := topo.NodeAt(topo.RouterInGroup(3, 0), 0)
 	pkt := newPacket(topo, 0, dst)
-	alg.Route(pkt.SrcRouter, pkt, rng)
+	alg.Route(pkt.SrcRouter, &pkt.Header, &pkt.Route, rng)
 	if pkt.Route.Kind != packet.Minimal {
 		t.Fatal("PAR should start minimal when uncongested")
 	}
@@ -297,7 +306,7 @@ func TestProgressiveDiverts(t *testing.T) {
 	minPort := topo.NextMinimalPort(0, topo.RouterOfNode(dst))
 	probe.occ[[2]int{0, minPort}] = 48
 	pkt2 := newPacket(topo, 0, dst)
-	alg.Route(pkt2.SrcRouter, pkt2, rng)
+	alg.Route(pkt2.SrcRouter, &pkt2.Header, &pkt2.Route, rng)
 	if pkt2.Route.Kind != packet.Nonminimal {
 		t.Fatal("PAR should divert when the minimal next hop is congested")
 	}

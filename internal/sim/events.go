@@ -18,7 +18,7 @@ const (
 
 // event is one scheduled action: a packet arriving at an input VC, a credit
 // returning to an input buffer, or a packet being consumed at its destination
-// node.
+// node. Packets travel as store refs (arrival + delivery).
 type event struct {
 	kind eventKind
 
@@ -26,7 +26,7 @@ type event struct {
 	router packet.RouterID
 	port   int
 	vc     int
-	pkt    *packet.Packet
+	ref    packet.Ref
 
 	// credit
 	buf  *buffer.InputBuffer
@@ -96,8 +96,8 @@ func (n *Network) DownstreamInput(r packet.RouterID, port int) *buffer.InputBuff
 }
 
 // ScheduleArrival implements router.Env.
-func (n *Network) ScheduleArrival(delay int64, to packet.RouterID, port, vc int, pkt *packet.Packet, kind packet.RouteKind) {
-	n.wheel.schedule(n.now, delay, event{kind: evArrival, router: to, port: port, vc: vc, pkt: pkt, rkind: kind})
+func (n *Network) ScheduleArrival(delay int64, to packet.RouterID, port, vc int, ref packet.Ref, kind packet.RouteKind) {
+	n.wheel.schedule(n.now, delay, event{kind: evArrival, router: to, port: port, vc: vc, ref: ref, rkind: kind})
 }
 
 // ScheduleCredit implements router.Env.
@@ -106,8 +106,8 @@ func (n *Network) ScheduleCredit(delay int64, buf *buffer.InputBuffer, vc, size 
 }
 
 // ScheduleDelivery implements router.Env.
-func (n *Network) ScheduleDelivery(delay int64, pkt *packet.Packet) {
-	n.wheel.schedule(n.now, delay, event{kind: evDelivery, pkt: pkt})
+func (n *Network) ScheduleDelivery(delay int64, ref packet.Ref) {
+	n.wheel.schedule(n.now, delay, event{kind: evDelivery, ref: ref})
 }
 
 // --- routing.Probe implementation -----------------------------------------

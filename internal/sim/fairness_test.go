@@ -28,12 +28,13 @@ func TestInjectFairness(t *testing.T) {
 	ns := &n.nodes[node]
 	var id uint64
 
-	mkpkt := func(class packet.Class) *packet.Packet {
+	mkpkt := func(class packet.Class) packet.Ref {
 		id++
-		p := packet.New(id, node, dst, cfg.PacketSize, class, n.now)
-		p.SrcRouter = n.topo.RouterOfNode(node)
-		p.DstRouter = n.topo.RouterOfNode(dst)
-		return p
+		ref := n.store.Alloc(id, node, dst, cfg.PacketSize, class, n.now)
+		hdr := n.store.Hdr(ref)
+		hdr.SrcRouter = n.topo.RouterOfNode(node)
+		hdr.DstRouter = n.topo.RouterOfNode(dst)
+		return ref
 	}
 
 	// Seed a deep backlog of requests and keep the reply queue non-empty

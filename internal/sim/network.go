@@ -46,7 +46,9 @@ type Network struct {
 	gen     traffic.Generator
 	routers []*router.Router
 	nodes   []nodeState
-	pool    *packet.Pool
+	// store is the SoA packet arena every packet of the replication lives in;
+	// routers, buffers and generators exchange packet.Refs into it.
+	store *packet.Store
 
 	// activeRouter flags routers holding packets; Step skips the others.
 	activeRouter []bool
@@ -80,7 +82,12 @@ type Network struct {
 
 // New builds a network from a configuration. The configuration is validated
 // first.
-func New(cfg config.Config) (*Network, error) {
+func New(cfg config.Config) (*Network, error) { return newNetwork(cfg, nil) }
+
+// newNetwork builds a network, optionally drawing its packet store, telemetry
+// arena and shard event buffers from a recycled scratch set (see scratch.go).
+// RunOne is the pooled path; New passes nil and allocates fresh.
+func newNetwork(cfg config.Config, sc *scratch) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -97,7 +104,12 @@ func New(cfg config.Config) (*Network, error) {
 	if pc, ok := topo.(topology.Precomputer); ok {
 		pc.PrecomputeTables(cfg.RouteTableBytes)
 	}
-	n := &Network{cfg: cfg, topo: topo, scheme: cfg.Scheme, pool: &packet.Pool{}}
+	n := &Network{cfg: cfg, topo: topo, scheme: cfg.Scheme}
+	if sc != nil {
+		n.store = sc.store
+	} else {
+		n.store = packet.NewStore()
+	}
 
 	// Traffic: a single open-loop pattern, or — when the configuration
 	// carries a scenario — a phased Switchable generator that swaps pattern
@@ -110,7 +122,7 @@ func New(cfg config.Config) (*Network, error) {
 		AvgBurstLength:  cfg.AvgBurstLength,
 		HotspotFraction: cfg.HotspotFraction,
 		HotspotGroup:    cfg.HotspotGroup,
-		Pool:            n.pool,
+		Store:           n.store,
 	}
 	var gen traffic.Generator
 	if cfg.Scenario != nil {
@@ -133,6 +145,7 @@ func New(cfg config.Config) (*Network, error) {
 
 	// Routers.
 	params := router.Params{
+		Store:            n.store,
 		Speedup:          cfg.Speedup,
 		Pipeline:         cfg.RouterPipeline,
 		OutputBufPhits:   cfg.OutputBuf,
@@ -172,7 +185,8 @@ func New(cfg config.Config) (*Network, error) {
 	// contiguous blocks and point their environments at per-shard event
 	// buffers. Must come after the downInput wiring above — shard
 	// environments delegate downstream lookups to it.
-	n.buildShards(shardPlan(cfg, topo))
+	count, align := shardPlan(cfg, topo)
+	n.buildShards(count, align, sc)
 	n.metrics = newSimMetrics(cfg.Metrics, n.Shards())
 
 	n.nodes = make([]nodeState, topo.NumNodes())
@@ -188,7 +202,11 @@ func New(cfg config.Config) (*Network, error) {
 		// phase switches is the signal, not something to warm past.
 		measureStart, measureEnd = 0, cfg.Scenario.TotalCycles()
 	}
-	n.collector = stats.NewCollector(topo.NumNodes(), measureStart, measureEnd)
+	var arena *stats.Arena
+	if sc != nil {
+		arena = sc.arena
+	}
+	n.collector = stats.NewCollectorIn(arena, topo.NumNodes(), measureStart, measureEnd)
 	if cfg.Scenario != nil {
 		if err := n.collector.EnableTimeSeries(cfg.Scenario.Window, measureEnd, cfg.Scenario.Marks()); err != nil {
 			return nil, err
@@ -256,3 +274,6 @@ func (n *Network) Deadlocked() bool { return n.deadlock }
 
 // Collector exposes the statistics collector.
 func (n *Network) Collector() *stats.Collector { return n.collector }
+
+// Store exposes the packet arena, for tests and probes.
+func (n *Network) Store() *packet.Store { return n.store }

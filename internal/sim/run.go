@@ -65,20 +65,28 @@ func (n *Network) watchdog() bool {
 // RunOne builds a network for cfg, runs it and returns its summary. With a
 // metrics registry attached it also accounts the replication (count + wall
 // histogram) — this is the single funnel every execution path (RunReplication,
-// RunAveraged, tests) goes through.
+// RunAveraged, tests) goes through. The network's packet store, telemetry
+// arena and shard buffers come from the process-wide scratch pool and are
+// recycled when the run finishes: the summary is a deep copy, so nothing it
+// holds aliases the recycled memory.
 func RunOne(cfg config.Config) (stats.Result, error) {
-	n, err := New(cfg)
+	sc := acquireScratch()
+	n, err := newNetwork(cfg, sc)
 	if err != nil {
+		sc.reclaim(nil)
 		return stats.Result{}, err
 	}
+	var r stats.Result
 	if reg := cfg.Metrics; reg != nil {
 		start := time.Now()
-		r := n.Run()
+		r = n.Run()
 		reg.Histogram(MetricReplicationWall).Observe(time.Since(start).Nanoseconds())
 		reg.Counter(MetricReplications).Inc()
-		return r, nil
+	} else {
+		r = n.Run()
 	}
-	return n.Run(), nil
+	sc.reclaim(n)
+	return r, nil
 }
 
 // ReplicationSeed derives the PRNG seed of replication s from the base

@@ -113,12 +113,12 @@ func TestWatchdog(t *testing.T) {
 	}
 	deliverAt := func(n *Network, cycle int64) {
 		// Feed the collector a delivery so LastDeliveryCycle advances.
-		pkt := packet.New(1, 0, 1, 8, packet.Request, cycle-10)
-		pkt.InjectTime = cycle - 8
+		ref := n.store.Alloc(1, 0, 1, 8, packet.Request, cycle-10)
+		n.store.Times(ref).Inject = cycle - 8
 		save := n.now
 		n.now = cycle
 		n.inFlight++ // deliver decrements it
-		n.deliver(pkt)
+		n.deliver(ref)
 		n.now = save
 	}
 

@@ -75,8 +75,8 @@ func (s *shardState) DownstreamInput(r packet.RouterID, port int) *buffer.InputB
 }
 
 // ScheduleArrival implements router.Env, buffering into the shard.
-func (s *shardState) ScheduleArrival(delay int64, to packet.RouterID, port, vc int, pkt *packet.Packet, kind packet.RouteKind) {
-	s.pend = append(s.pend, pendEvent{delay, event{kind: evArrival, router: to, port: port, vc: vc, pkt: pkt, rkind: kind}})
+func (s *shardState) ScheduleArrival(delay int64, to packet.RouterID, port, vc int, ref packet.Ref, kind packet.RouteKind) {
+	s.pend = append(s.pend, pendEvent{delay, event{kind: evArrival, router: to, port: port, vc: vc, ref: ref, rkind: kind}})
 }
 
 // ScheduleCredit implements router.Env, buffering into the shard.
@@ -85,8 +85,8 @@ func (s *shardState) ScheduleCredit(delay int64, buf *buffer.InputBuffer, vc, si
 }
 
 // ScheduleDelivery implements router.Env, buffering into the shard.
-func (s *shardState) ScheduleDelivery(delay int64, pkt *packet.Packet) {
-	s.pend = append(s.pend, pendEvent{delay, event{kind: evDelivery, pkt: pkt}})
+func (s *shardState) ScheduleDelivery(delay int64, ref packet.Ref) {
+	s.pend = append(s.pend, pendEvent{delay, event{kind: evDelivery, ref: ref}})
 }
 
 // flush replays the shard's buffered events into the wheel, preserving their
@@ -140,7 +140,7 @@ func shardPlan(cfg config.Config, topo topology.Topology) (count, align int) {
 // calls are buffered per shard. With count <= 1 it leaves the serial path
 // untouched: routers keep the Network itself as their environment and Step
 // takes the exact pre-sharding code path.
-func (n *Network) buildShards(count, align int) {
+func (n *Network) buildShards(count, align int, sc *scratch) {
 	if count <= 1 {
 		return
 	}
@@ -157,6 +157,9 @@ func (n *Network) buildShards(count, align int) {
 			hi = len(n.routers)
 		}
 		sh := &shardState{n: n, lo: lo, hi: hi}
+		if sc != nil {
+			sh.pend = sc.takePend()
+		}
 		n.shards[i] = sh
 		for r := lo; r < hi; r++ {
 			n.routers[r].SetEnv(sh)

@@ -4,37 +4,33 @@ import (
 	"flexvc/internal/packet"
 )
 
-// pktFIFO is an unbounded NIC queue with an explicit head index, so popping
-// the front neither reallocates nor abandons backing storage: once drained,
-// the slice is rewound and its capacity reused.
+// pktFIFO is an unbounded NIC queue of packet refs with an explicit head
+// index, so popping the front neither reallocates nor abandons backing
+// storage: once drained, the slice is rewound and its capacity reused.
 type pktFIFO struct {
-	items []*packet.Packet
+	items []packet.Ref
 	head  int
 }
 
 func (q *pktFIFO) len() int    { return len(q.items) - q.head }
 func (q *pktFIFO) empty() bool { return q.head >= len(q.items) }
 
-func (q *pktFIFO) push(p *packet.Packet) {
+func (q *pktFIFO) push(p packet.Ref) {
 	if q.head > 0 && q.head >= len(q.items)-q.head {
 		// The dead prefix is at least as large as the live tail: compact so
 		// a queue that never fully drains cannot grow its backing array
 		// beyond twice its live depth. Amortised O(1) per push.
 		live := copy(q.items, q.items[q.head:])
-		for i := live; i < len(q.items); i++ {
-			q.items[i] = nil
-		}
 		q.items = q.items[:live]
 		q.head = 0
 	}
 	q.items = append(q.items, p)
 }
 
-func (q *pktFIFO) peek() *packet.Packet { return q.items[q.head] }
+func (q *pktFIFO) peek() packet.Ref { return q.items[q.head] }
 
-func (q *pktFIFO) pop() *packet.Packet {
+func (q *pktFIFO) pop() packet.Ref {
 	p := q.items[q.head]
-	q.items[q.head] = nil
 	q.head++
 	if q.head == len(q.items) {
 		q.items = q.items[:0]
@@ -127,45 +123,49 @@ func (n *Network) processEvents() {
 			// The packet becomes visible to the allocator once the router
 			// pipeline latency has elapsed.
 			ready := n.now + int64(n.cfg.RouterPipeline)
-			n.routers[ev.router].EnqueueArrival(ev.port, ev.vc, ev.pkt, ready, ev.rkind)
+			n.routers[ev.router].EnqueueArrival(ev.port, ev.vc, ev.ref, ready, ev.rkind)
 			n.markRouterActive(ev.router)
 		case evCredit:
 			ev.buf.ReleaseCredit(ev.vc, ev.size, ev.rkind)
 		case evDelivery:
-			n.deliver(ev.pkt)
+			n.deliver(ev.ref)
 		}
 	}
 }
 
 // deliver consumes a packet at its destination node, collects the reply the
-// destination now owes (reactive traffic), and recycles packet memory that
-// can no longer be referenced.
-func (n *Network) deliver(pkt *packet.Packet) {
-	pkt.RecvTime = n.now
+// destination now owes (reactive traffic), and recycles store slots that can
+// no longer be referenced.
+func (n *Network) deliver(ref packet.Ref) {
+	n.store.Times(ref).Recv = n.now
 	n.inFlight--
-	n.collector.Delivered(pkt, n.now)
-	n.gen.Delivered(n.now, pkt)
+	n.collector.Delivered(n.store, ref, n.now)
+	// Copy the fields needed after the generator callback: a reactive
+	// generator allocates the reply there, which may grow the store and
+	// invalidate header pointers.
+	hdr := n.store.Hdr(ref)
+	class, dst := hdr.Class, hdr.Dst
+	n.gen.Delivered(n.now, ref)
 	if !n.cfg.Reactive {
-		n.pool.Put(pkt)
+		n.store.Free(ref)
 		return
 	}
-	if pkt.Class == packet.Request {
+	if class == packet.Request {
 		// Move the owed reply to the NIC immediately instead of polling every
 		// node every cycle. The delivered request stays alive: its reply
 		// references it through ReplyTo until the reply itself is delivered.
-		if reply := n.gen.PendingReplies(pkt.Dst); reply != nil {
-			n.nodes[pkt.Dst].replies.push(reply)
-			n.queueNode(pkt.Dst)
+		if reply := n.gen.PendingReplies(dst); reply != packet.NilRef {
+			n.nodes[dst].replies.push(reply)
+			n.queueNode(dst)
 		}
 		return
 	}
 	// A delivered reply closes its transaction: both the reply and the
 	// request it retained are unreachable now.
-	if pkt.ReplyTo != nil {
-		n.pool.Put(pkt.ReplyTo)
-		pkt.ReplyTo = nil
+	if req := n.store.ReplyTo(ref); req != packet.NilRef {
+		n.store.Free(req)
 	}
-	n.pool.Put(pkt)
+	n.store.Free(ref)
 }
 
 // inject runs the NIC model: every node's generator is polled each cycle (the
@@ -174,10 +174,10 @@ func (n *Network) deliver(pkt *packet.Packet) {
 // reservation — only runs for nodes that actually hold queued work.
 func (n *Network) inject() {
 	for node := range n.nodes {
-		if pkt := n.gen.Generate(n.now, packet.NodeID(node)); pkt != nil {
+		if ref := n.gen.Generate(n.now, packet.NodeID(node)); ref != packet.NilRef {
 			n.generated++
-			n.collector.Generated(pkt)
-			n.nodes[node].requests.push(pkt)
+			n.collector.Generated()
+			n.nodes[node].requests.push(ref)
 			n.queueNode(packet.NodeID(node))
 		}
 	}
@@ -217,7 +217,10 @@ func (n *Network) tryInject(node packet.NodeID, ns *nodeState) {
 	default:
 		queue = &ns.requests
 	}
-	pkt := queue.peek()
+	ref := queue.peek()
+	hdr := n.store.Hdr(ref)
+	size := int(hdr.Size)
+	kind := n.store.Route(ref).Kind
 	rtr := n.topo.RouterOfNode(node)
 	port := n.topo.TerminalPort(rtr, node)
 	buf := n.routers[rtr].Input(port)
@@ -225,24 +228,24 @@ func (n *Network) tryInject(node packet.NodeID, ns *nodeState) {
 	// injection queues); skip this cycle if none fits.
 	bestVC, bestFree := -1, -1
 	for vc := 0; vc < buf.NumVCs(); vc++ {
-		if free := buf.FreeFor(vc); free >= pkt.Size && free > bestFree {
+		if free := buf.FreeFor(vc); free >= size && free > bestFree {
 			bestVC, bestFree = vc, free
 		}
 	}
 	if bestVC < 0 {
 		return
 	}
-	if !buf.Reserve(bestVC, pkt.Size, pkt.Route.Kind) {
+	if !buf.Reserve(bestVC, size, kind) {
 		return
 	}
 	ready := n.now + int64(n.cfg.InjectionLatency+n.cfg.RouterPipeline)
-	n.routers[rtr].EnqueueArrival(port, bestVC, pkt, ready, pkt.Route.Kind)
+	n.routers[rtr].EnqueueArrival(port, bestVC, ref, ready, kind)
 	n.markRouterActive(rtr)
-	pkt.InjectTime = n.now
-	n.collector.Injected(pkt)
+	n.store.Times(ref).Inject = n.now
+	n.collector.Injected()
 	n.inFlight++
-	ns.nextInject = n.now + int64(pkt.Size)
-	ns.lastWasReply = pkt.Class == packet.Reply
+	ns.nextInject = n.now + int64(size)
+	ns.lastWasReply = hdr.Class == packet.Reply
 	queue.pop()
 }
 

@@ -1,0 +1,106 @@
+package stats
+
+// arenaBlockWords is the default block size of an Arena, in 8-byte words:
+// 16384 words = 128 KiB per block, several times the telemetry footprint of a
+// typical replication, so almost every run uses exactly one block per type.
+const arenaBlockWords = 16384
+
+// Arena is a typed bump allocator for the collector's per-replication
+// telemetry buffers (time-series windows and any other numeric scratch). It
+// exists so a long campaign does not heap-allocate fresh telemetry arrays for
+// every replication: the sim layer keeps one Arena per recycled scratch set,
+// calls Reset between replications, and the backing blocks are reused.
+//
+// Allocation is a bump pointer into the active block; when a request does not
+// fit, a new block is appended (existing blocks are never reallocated, so
+// slices handed out earlier stay valid until Reset). Reset invalidates every
+// outstanding slice — callers must not retain arena-backed slices across a
+// Reset, which the collector guarantees by deep-copying (Clone) everything it
+// exports in Summarize.
+//
+// An Arena is not safe for concurrent use; like the packet store, each
+// replication owns its own.
+type Arena struct {
+	i64    [][]int64
+	f64    [][]float64
+	i64Blk int // index of the active int64 block
+	f64Blk int
+	i64Off int // bump offset into the active block
+	f64Off int
+}
+
+// NewArena returns an empty arena; blocks are allocated on first use.
+func NewArena() *Arena { return &Arena{} }
+
+// Int64 returns a zeroed []int64 of length n carved from the arena. The slice
+// is capacity-clamped so appends cannot silently bleed into later allocations.
+func (a *Arena) Int64(n int) []int64 {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.i64Blk < len(a.i64) {
+			blk := a.i64[a.i64Blk]
+			if a.i64Off+n <= len(blk) {
+				s := blk[a.i64Off : a.i64Off+n : a.i64Off+n]
+				a.i64Off += n
+				clear(s)
+				return s
+			}
+			a.i64Blk++
+			a.i64Off = 0
+			continue
+		}
+		size := arenaBlockWords
+		if n > size {
+			size = n
+		}
+		a.i64 = append(a.i64, make([]int64, size))
+	}
+}
+
+// Float64 returns a zeroed []float64 of length n carved from the arena.
+func (a *Arena) Float64(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.f64Blk < len(a.f64) {
+			blk := a.f64[a.f64Blk]
+			if a.f64Off+n <= len(blk) {
+				s := blk[a.f64Off : a.f64Off+n : a.f64Off+n]
+				a.f64Off += n
+				clear(s)
+				return s
+			}
+			a.f64Blk++
+			a.f64Off = 0
+			continue
+		}
+		size := arenaBlockWords
+		if n > size {
+			size = n
+		}
+		a.f64 = append(a.f64, make([]float64, size))
+	}
+}
+
+// Reset rewinds the arena to empty, invalidating every outstanding slice but
+// keeping the blocks, so the next replication's allocations are carve-outs
+// from already-owned memory.
+func (a *Arena) Reset() {
+	a.i64Blk, a.i64Off = 0, 0
+	a.f64Blk, a.f64Off = 0, 0
+}
+
+// Footprint returns the bytes of backing memory the arena retains.
+func (a *Arena) Footprint() int {
+	total := 0
+	for _, b := range a.i64 {
+		total += 8 * len(b)
+	}
+	for _, b := range a.f64 {
+		total += 8 * len(b)
+	}
+	return total
+}

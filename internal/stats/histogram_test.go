@@ -156,18 +156,19 @@ func TestHistogramBucketInvariants(t *testing.T) {
 // the collector.
 func TestCollectorMemoryBounded(t *testing.T) {
 	c := NewCollector(16, 0, 1<<40)
-	p := packet.New(1, 0, 1, 8, packet.Request, 0)
-	p.InjectTime = 1
+	st := packet.NewStore()
+	p := st.Alloc(1, 0, 1, 8, packet.Request, 0)
+	st.Times(p).Inject = 1
 	now := int64(10)
 	// Warm up, then require zero allocations per delivery.
 	for i := 0; i < 1000; i++ {
-		p.RecvTime = now
-		c.Delivered(p, now)
+		st.Times(p).Recv = now
+		c.Delivered(st, p, now)
 		now += 13
 	}
 	allocs := testing.AllocsPerRun(10000, func() {
-		p.RecvTime = now
-		c.Delivered(p, now)
+		st.Times(p).Recv = now
+		c.Delivered(st, p, now)
 		now += 7919 // drift the latency so many buckets are exercised
 	})
 	if allocs != 0 {

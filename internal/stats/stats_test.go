@@ -8,14 +8,16 @@ import (
 )
 
 func delivered(c *Collector, id uint64, gen, inject, recv int64, size int, class packet.Class, kind packet.RouteKind) {
-	p := packet.New(id, 0, 1, size, class, gen)
-	p.InjectTime = inject
-	p.Route.Kind = kind
-	p.Route.Hops = 3
-	c.Generated(p)
-	c.Injected(p)
-	p.RecvTime = recv
-	c.Delivered(p, recv)
+	st := packet.NewStore()
+	ref := st.Alloc(id, 0, 1, size, class, gen)
+	st.Times(ref).Inject = inject
+	rt := st.Route(ref)
+	rt.Kind = kind
+	rt.Hops = 3
+	c.Generated()
+	c.Injected()
+	st.Times(ref).Recv = recv
+	c.Delivered(st, ref, recv)
 }
 
 func TestCollectorWindowing(t *testing.T) {

@@ -148,15 +148,16 @@ func TestCollectorTimeSeries(t *testing.T) {
 	if err := c.EnableTimeSeries(100, 400, marks()); err != nil {
 		t.Fatal(err)
 	}
-	p := packet.New(1, 0, 1, 8, packet.Request, 10)
-	p.InjectTime = 12
-	p.RecvTime = 50
-	c.Delivered(p, 50)
-	q := packet.New(2, 1, 0, 8, packet.Request, 200)
-	q.InjectTime = 202
-	q.RecvTime = 260
-	q.Route.Kind = packet.Nonminimal
-	c.Delivered(q, 260)
+	st := packet.NewStore()
+	p := st.Alloc(1, 0, 1, 8, packet.Request, 10)
+	st.Times(p).Inject = 12
+	st.Times(p).Recv = 50
+	c.Delivered(st, p, 50)
+	q := st.Alloc(2, 1, 0, 8, packet.Request, 200)
+	st.Times(q).Inject = 202
+	st.Times(q).Recv = 260
+	st.Route(q).Kind = packet.Nonminimal
+	c.Delivered(st, q, 260)
 	res := c.Summarize(0.5, 400, false)
 	if res.Series == nil {
 		t.Fatal("summary lost the time series")
@@ -168,9 +169,9 @@ func TestCollectorTimeSeries(t *testing.T) {
 		t.Errorf("minimal counts misrecorded: %+v", res.Series.MinRouted)
 	}
 	// The attached series is a clone: further deliveries must not mutate it.
-	r := packet.New(3, 0, 1, 8, packet.Request, 300)
-	r.RecvTime = 399
-	c.Delivered(r, 399)
+	r := st.Alloc(3, 0, 1, 8, packet.Request, 300)
+	st.Times(r).Recv = 399
+	c.Delivered(st, r, 399)
 	if res.Series.Packets[3] != 0 {
 		t.Error("summary series aliases the live collector")
 	}

@@ -46,7 +46,7 @@ func NewBernoulli(name string, params Params, dest destinationFn) *Bernoulli {
 func (g *Bernoulli) Name() string { return g.name }
 
 // Generate implements Generator.
-func (g *Bernoulli) Generate(now int64, node packet.NodeID) *packet.Packet {
+func (g *Bernoulli) Generate(now int64, node packet.NodeID) packet.Ref {
 	rng := g.rngs[node]
 	rate := g.rate
 	if g.params.Ramped() {
@@ -56,19 +56,19 @@ func (g *Bernoulli) Generate(now int64, node packet.NodeID) *packet.Packet {
 		rate = g.ramp.val
 	}
 	if rng.Float64() >= rate {
-		return nil
+		return packet.NilRef
 	}
 	dst := g.dest(rng, node)
-	p := g.params.Pool.Get(g.ids.alloc(), node, dst, g.params.PacketSize, packet.Request, now)
-	fillEndpoints(g.params.Topo, p)
-	return p
+	ref := g.params.Store.Alloc(g.ids.alloc(), node, dst, g.params.PacketSize, packet.Request, now)
+	fillEndpoints(g.params.Topo, g.params.Store.Hdr(ref))
+	return ref
 }
 
 // Delivered implements Generator (no reaction for open-loop patterns).
-func (g *Bernoulli) Delivered(int64, *packet.Packet) {}
+func (g *Bernoulli) Delivered(int64, packet.Ref) {}
 
 // PendingReplies implements Generator.
-func (g *Bernoulli) PendingReplies(packet.NodeID) *packet.Packet { return nil }
+func (g *Bernoulli) PendingReplies(packet.NodeID) packet.Ref { return packet.NilRef }
 
 // Bursty is the BURSTY-UN pattern: a two-state Markov ON/OFF process per node
 // (Adas '97), found representative of data-centre traffic (Benson et al.).
@@ -142,7 +142,7 @@ func burstyOffToOn(load, burst float64, packetSize int) float64 {
 func (g *Bursty) Name() string { return NameBursty }
 
 // Generate implements Generator.
-func (g *Bursty) Generate(now int64, node packet.NodeID) *packet.Packet {
+func (g *Bursty) Generate(now int64, node packet.NodeID) packet.Ref {
 	rng := g.rngs[node]
 	st := &g.state[node]
 	if !st.on {
@@ -157,29 +157,29 @@ func (g *Bursty) Generate(now int64, node packet.NodeID) *packet.Packet {
 			pOn = g.ramp.val
 		}
 		if rng.Float64() >= pOn {
-			return nil
+			return packet.NilRef
 		}
 		st.on = true
 		st.dst = g.dest(rng, node)
 		st.nextStart = now
 	}
 	if now < st.nextStart {
-		return nil
+		return packet.NilRef
 	}
-	p := g.params.Pool.Get(g.ids.alloc(), node, st.dst, g.params.PacketSize, packet.Request, now)
-	fillEndpoints(g.params.Topo, p)
+	ref := g.params.Store.Alloc(g.ids.alloc(), node, st.dst, g.params.PacketSize, packet.Request, now)
+	fillEndpoints(g.params.Topo, g.params.Store.Hdr(ref))
 	st.nextStart = now + int64(g.params.PacketSize)
 	if rng.Float64() < g.pEnd {
 		st.on = false
 	}
-	return p
+	return ref
 }
 
 // Delivered implements Generator.
-func (g *Bursty) Delivered(int64, *packet.Packet) {}
+func (g *Bursty) Delivered(int64, packet.Ref) {}
 
 // PendingReplies implements Generator.
-func (g *Bursty) PendingReplies(packet.NodeID) *packet.Packet { return nil }
+func (g *Bursty) PendingReplies(packet.NodeID) packet.Ref { return packet.NilRef }
 
 // Reactive wraps a base pattern with request-reply semantics: requests are
 // generated by the base pattern, and every delivered request causes its
@@ -190,7 +190,7 @@ func (g *Bursty) PendingReplies(packet.NodeID) *packet.Packet { return nil }
 type Reactive struct {
 	base    Generator
 	params  Params
-	pending [][]*packet.Packet
+	pending [][]packet.Ref
 	ids     idAllocator
 }
 
@@ -199,7 +199,7 @@ func NewReactive(base Generator, params Params) *Reactive {
 	return &Reactive{
 		base:    base,
 		params:  params,
-		pending: make([][]*packet.Packet, params.Topo.NumNodes()),
+		pending: make([][]packet.Ref, params.Topo.NumNodes()),
 	}
 }
 
@@ -207,31 +207,35 @@ func NewReactive(base Generator, params Params) *Reactive {
 func (g *Reactive) Name() string { return g.base.Name() + "+reply" }
 
 // Generate implements Generator: new requests come from the base pattern.
-func (g *Reactive) Generate(now int64, node packet.NodeID) *packet.Packet {
+func (g *Reactive) Generate(now int64, node packet.NodeID) packet.Ref {
 	return g.base.Generate(now, node)
 }
 
 // Delivered implements Generator: a delivered request queues a reply at the
 // destination node; delivered replies close the transaction.
-func (g *Reactive) Delivered(now int64, pkt *packet.Packet) {
-	g.base.Delivered(now, pkt)
-	if pkt.Class != packet.Request {
+func (g *Reactive) Delivered(now int64, ref packet.Ref) {
+	g.base.Delivered(now, ref)
+	store := g.params.Store
+	// Copy the request's endpoints before allocating: Alloc may grow the
+	// arrays and invalidate the header pointer.
+	h := *store.Hdr(ref)
+	if h.Class != packet.Request {
 		return
 	}
-	reply := g.params.Pool.Get(g.ids.alloc()|replyIDBit, pkt.Dst, pkt.Src, pkt.Size, packet.Reply, now)
-	reply.ReplyTo = pkt
-	fillEndpoints(g.params.Topo, reply)
-	g.pending[pkt.Dst] = append(g.pending[pkt.Dst], reply)
+	reply := store.Alloc(g.ids.alloc()|replyIDBit, h.Dst, h.Src, int(h.Size), packet.Reply, now)
+	store.SetReplyTo(reply, ref)
+	fillEndpoints(g.params.Topo, store.Hdr(reply))
+	g.pending[h.Dst] = append(g.pending[h.Dst], reply)
 }
 
 // replyIDBit keeps reply IDs disjoint from request IDs.
 const replyIDBit = uint64(1) << 63
 
 // PendingReplies implements Generator: it pops one owed reply for the node.
-func (g *Reactive) PendingReplies(node packet.NodeID) *packet.Packet {
+func (g *Reactive) PendingReplies(node packet.NodeID) packet.Ref {
 	q := g.pending[node]
 	if len(q) == 0 {
-		return nil
+		return packet.NilRef
 	}
 	p := q[0]
 	g.pending[node] = q[1:]

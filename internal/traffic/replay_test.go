@@ -14,16 +14,17 @@ import (
 // streamBytes drives a generator for the given number of cycles and encodes
 // every generated packet as fixed-width binary (cycle, node, src, dst, size,
 // class), so two streams can be compared byte for byte.
-func streamBytes(t *testing.T, g Generator, nodes int, cycles int64) []byte {
+func streamBytes(t *testing.T, st *packet.Store, g Generator, nodes int, cycles int64) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	for now := int64(0); now < cycles; now++ {
 		for n := 0; n < nodes; n++ {
 			p := g.Generate(now, packet.NodeID(n))
-			if p == nil {
+			if p == packet.NilRef {
 				continue
 			}
-			for _, v := range []int64{now, int64(n), int64(p.Src), int64(p.Dst), int64(p.Size), int64(p.Class)} {
+			h := st.Hdr(p)
+			for _, v := range []int64{now, int64(n), int64(h.Src), int64(h.Dst), int64(h.Size), int64(h.Class)} {
 				if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
 					t.Fatal(err)
 				}
@@ -45,8 +46,8 @@ func TestBurstyReplayByteIdentical(t *testing.T) {
 		}
 		return g
 	}
-	a := streamBytes(t, build(), nodes, 5000)
-	b := streamBytes(t, build(), nodes, 5000)
+	a := streamBytes(t, p.Store, build(), nodes, 5000)
+	b := streamBytes(t, p.Store, build(), nodes, 5000)
 	if len(a) == 0 {
 		t.Fatal("bursty generator produced no packets")
 	}
@@ -55,7 +56,7 @@ func TestBurstyReplayByteIdentical(t *testing.T) {
 	}
 	q := p
 	q.Seed++
-	c := streamBytes(t, mustBursty(t, q), nodes, 5000)
+	c := streamBytes(t, q.Store, mustBursty(t, q), nodes, 5000)
 	if bytes.Equal(a, c) {
 		t.Fatal("different seeds produced identical bursty packet streams")
 	}
@@ -105,15 +106,15 @@ func TestSwitchableReplayByteIdentical(t *testing.T) {
 		}
 		return g
 	}
-	a := streamBytes(t, build(3), nodes, 1500)
-	b := streamBytes(t, build(3), nodes, 1500)
+	a := streamBytes(t, p.Store, build(3), nodes, 1500)
+	b := streamBytes(t, p.Store, build(3), nodes, 1500)
 	if len(a) == 0 {
 		t.Fatal("switchable generator produced no packets")
 	}
 	if !bytes.Equal(a, b) {
 		t.Fatal("two switchable generators with the same seed produced different packet streams")
 	}
-	if c := streamBytes(t, build(4), nodes, 1500); bytes.Equal(a, c) {
+	if c := streamBytes(t, p.Store, build(4), nodes, 1500); bytes.Equal(a, c) {
 		t.Fatal("different seeds produced identical phased packet streams")
 	}
 }
@@ -142,15 +143,15 @@ func TestRampReplayByteIdentical(t *testing.T) {
 		}
 		return g
 	}
-	a := streamBytes(t, build(7), nodes, 2000)
-	b := streamBytes(t, build(7), nodes, 2000)
+	a := streamBytes(t, p.Store, build(7), nodes, 2000)
+	b := streamBytes(t, p.Store, build(7), nodes, 2000)
 	if len(a) == 0 {
 		t.Fatal("ramped generator produced no packets")
 	}
 	if !bytes.Equal(a, b) {
 		t.Fatal("two ramped generators with the same seed produced different packet streams")
 	}
-	if c := streamBytes(t, build(8), nodes, 2000); bytes.Equal(a, c) {
+	if c := streamBytes(t, p.Store, build(8), nodes, 2000); bytes.Equal(a, c) {
 		t.Fatal("different seeds produced identical ramped packet streams")
 	}
 }
@@ -170,7 +171,7 @@ func TestRampInterpolatesLoad(t *testing.T) {
 		c := 0
 		for now := from; now < to; now++ {
 			for n := 0; n < nodes; n++ {
-				if g.Generate(now, packet.NodeID(n)) != nil {
+				if g.Generate(now, packet.NodeID(n)) != packet.NilRef {
 					c++
 				}
 			}
@@ -206,7 +207,7 @@ func TestBurstyRampModulatesBurstStarts(t *testing.T) {
 	first, second := 0, 0
 	for now := int64(0); now < 4000; now++ {
 		for n := 0; n < nodes; n++ {
-			if g.Generate(now, packet.NodeID(n)) != nil {
+			if g.Generate(now, packet.NodeID(n)) != packet.NilRef {
 				if now < 2000 {
 					first++
 				} else {
@@ -256,16 +257,17 @@ func TestSwitchablePhaseBoundaries(t *testing.T) {
 		}
 		for n := 0; n < p.Topo.NumNodes(); n++ {
 			pkt := g.Generate(now, packet.NodeID(n))
-			if pkt == nil {
+			if pkt == packet.NilRef {
 				continue
 			}
-			if seen[pkt.ID] {
-				t.Fatalf("duplicate packet ID %d across phases", pkt.ID)
+			h := p.Store.Hdr(pkt)
+			if seen[h.ID] {
+				t.Fatalf("duplicate packet ID %d across phases", h.ID)
 			}
-			seen[pkt.ID] = true
+			seen[h.ID] = true
 			perPhase[phase]++
 			if phase == 1 {
-				src, dst := df.GroupOf(pkt.SrcRouter), df.GroupOf(pkt.DstRouter)
+				src, dst := df.GroupOf(h.SrcRouter), df.GroupOf(h.DstRouter)
 				if dst != (src+1)%df.NumGroups() {
 					t.Fatalf("cycle %d: adversarial phase sent group %d -> %d", now, src, dst)
 				}
@@ -316,16 +318,17 @@ func TestPermutationDestinations(t *testing.T) {
 		for now := int64(0); now < 200; now++ {
 			for node := 0; node < n; node++ {
 				pkt := g.Generate(now, packet.NodeID(node))
-				if pkt == nil {
+				if pkt == packet.NilRef {
 					continue
 				}
-				if pkt.Dst == pkt.Src {
+				h := p.Store.Hdr(pkt)
+				if h.Dst == h.Src {
 					t.Fatalf("%s: self-addressed packet from node %d", name, node)
 				}
-				if prev, ok := dst[pkt.Src]; ok && int(pkt.Src) < size && prev != pkt.Dst {
-					t.Fatalf("%s: in-domain node %d sent to both %d and %d", name, pkt.Src, prev, pkt.Dst)
+				if prev, ok := dst[h.Src]; ok && int(h.Src) < size && prev != h.Dst {
+					t.Fatalf("%s: in-domain node %d sent to both %d and %d", name, h.Src, prev, h.Dst)
 				}
-				dst[pkt.Src] = pkt.Dst
+				dst[h.Src] = h.Dst
 			}
 		}
 		// In-domain destinations must be nearly a permutation: fixed-point
@@ -377,13 +380,14 @@ func TestGroupHotspotConcentration(t *testing.T) {
 	for now := int64(0); now < 4000; now++ {
 		for n := 0; n < p.Topo.NumNodes(); n++ {
 			pkt := g.Generate(now, packet.NodeID(n))
-			if pkt == nil {
+			if pkt == packet.NilRef {
 				continue
 			}
-			if pkt.Dst == pkt.Src {
+			h := p.Store.Hdr(pkt)
+			if h.Dst == h.Src {
 				t.Fatal("group-hotspot generated a self-addressed packet")
 			}
-			perGroup[df.GroupOf(pkt.DstRouter)]++
+			perGroup[df.GroupOf(h.DstRouter)]++
 			total++
 		}
 	}

@@ -45,6 +45,7 @@ type PhaseSpec struct {
 // so this only matters to callers that run longer on purpose).
 type Switchable struct {
 	phases []switchPhase
+	store  *packet.Store
 	cur    int
 	ids    idAllocator
 }
@@ -69,7 +70,7 @@ func NewSwitchable(params Params, phases []PhaseSpec) (*Switchable, error) {
 	if len(phases) == 0 {
 		return nil, fmt.Errorf("traffic: switchable needs at least one phase")
 	}
-	s := &Switchable{phases: make([]switchPhase, 0, len(phases))}
+	s := &Switchable{phases: make([]switchPhase, 0, len(phases)), store: params.Store}
 	var until int64
 	for i, ph := range phases {
 		if ph.Cycles <= 0 {
@@ -119,21 +120,21 @@ func (s *Switchable) Name() string {
 // Generate implements Generator: it delegates to the phase covering `now`.
 // Packet IDs are re-allocated from one shared counter so they stay unique
 // across phases.
-func (s *Switchable) Generate(now int64, node packet.NodeID) *packet.Packet {
+func (s *Switchable) Generate(now int64, node packet.NodeID) packet.Ref {
 	for s.cur+1 < len(s.phases) && now >= s.phases[s.cur].until {
 		s.cur++
 	}
-	p := s.phases[s.cur].gen.Generate(now, node)
-	if p != nil {
-		p.ID = s.ids.alloc()
+	ref := s.phases[s.cur].gen.Generate(now, node)
+	if ref != packet.NilRef {
+		s.store.Hdr(ref).ID = s.ids.alloc()
 	}
-	return p
+	return ref
 }
 
 // Delivered implements Generator (all base phases are open-loop no-ops).
-func (s *Switchable) Delivered(now int64, pkt *packet.Packet) {
-	s.phases[s.cur].gen.Delivered(now, pkt)
+func (s *Switchable) Delivered(now int64, ref packet.Ref) {
+	s.phases[s.cur].gen.Delivered(now, ref)
 }
 
 // PendingReplies implements Generator.
-func (s *Switchable) PendingReplies(packet.NodeID) *packet.Packet { return nil }
+func (s *Switchable) PendingReplies(packet.NodeID) packet.Ref { return packet.NilRef }

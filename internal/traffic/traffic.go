@@ -17,21 +17,22 @@ import (
 	"flexvc/internal/topology"
 )
 
-// Generator produces the packets a node offers to the network.
+// Generator produces the packets a node offers to the network. Packets live
+// in the Params.Store arena; generators hand out Refs, never pointers.
 type Generator interface {
 	// Name identifies the pattern.
 	Name() string
 	// Generate is called once per node per cycle and returns a freshly
-	// generated packet or nil. The returned packet has its Src, Dst, Size,
-	// Class and GenTime fields filled in.
-	Generate(now int64, node packet.NodeID) *packet.Packet
+	// allocated packet or NilRef. The returned packet has its endpoints,
+	// size, class and generation time filled in.
+	Generate(now int64, node packet.NodeID) packet.Ref
 	// Delivered notifies the generator that a packet reached its
 	// destination (reactive patterns respond by scheduling a reply).
-	Delivered(now int64, pkt *packet.Packet)
+	Delivered(now int64, ref packet.Ref)
 	// PendingReplies returns packets the destination nodes owe to the
 	// network for the given node (reply traffic); the simulator drains this
-	// queue with priority over new requests. It returns nil when empty.
-	PendingReplies(node packet.NodeID) *packet.Packet
+	// queue with priority over new requests. It returns NilRef when empty.
+	PendingReplies(node packet.NodeID) packet.Ref
 }
 
 // Params collects what every generator needs.
@@ -64,10 +65,10 @@ type Params struct {
 	// HotspotGroup is the group concentrated on by group-hotspot traffic (a
 	// router index on flat topologies).
 	HotspotGroup int
-	// Pool, when non-nil, recycles delivered packets into new ones so the
-	// steady-state simulation allocates nothing per packet. A nil pool falls
-	// back to plain allocation.
-	Pool *packet.Pool
+	// Store is the packet arena new packets are allocated from. The network
+	// owns it; freed slots recycle so steady-state generation allocates
+	// nothing per packet.
+	Store *packet.Store
 }
 
 // packetRate returns the per-cycle packet generation probability that yields
@@ -169,10 +170,10 @@ func adversarialDestination(topo topology.Topology) destinationFn {
 	}
 }
 
-// fillEndpoints completes the router fields of a packet.
-func fillEndpoints(topo topology.Topology, p *packet.Packet) {
-	p.SrcRouter = topo.RouterOfNode(p.Src)
-	p.DstRouter = topo.RouterOfNode(p.Dst)
+// fillEndpoints completes the router fields of a freshly allocated packet.
+func fillEndpoints(topo topology.Topology, h *packet.Header) {
+	h.SrcRouter = topo.RouterOfNode(h.Src)
+	h.DstRouter = topo.RouterOfNode(h.Dst)
 }
 
 // Kind names the implemented patterns.

@@ -18,7 +18,7 @@ func testTopo(t *testing.T) topology.Topology {
 }
 
 func params(t *testing.T, load float64) Params {
-	return Params{Topo: testTopo(t), Load: load, PacketSize: 8, Seed: 3, AvgBurstLength: 5}
+	return Params{Topo: testTopo(t), Load: load, PacketSize: 8, Seed: 3, AvgBurstLength: 5, Store: packet.NewStore()}
 }
 
 // TestUniformLoadAndDestinations checks the offered load accuracy and the
@@ -35,20 +35,21 @@ func TestUniformLoadAndDestinations(t *testing.T) {
 	for now := int64(0); now < cycles; now++ {
 		for n := 0; n < p.Topo.NumNodes(); n++ {
 			pkt := g.Generate(now, packet.NodeID(n))
-			if pkt == nil {
+			if pkt == packet.NilRef {
 				continue
 			}
 			generated++
-			if pkt.Dst == pkt.Src {
+			h := p.Store.Hdr(pkt)
+			if h.Dst == h.Src {
 				t.Fatal("uniform traffic must not pick the source as destination")
 			}
-			if pkt.Class != packet.Request || pkt.Size != 8 || pkt.GenTime != now {
+			if h.Class != packet.Request || h.Size != 8 || p.Store.Times(pkt).Gen != now {
 				t.Fatal("malformed packet")
 			}
-			if pkt.SrcRouter != p.Topo.RouterOfNode(pkt.Src) || pkt.DstRouter != p.Topo.RouterOfNode(pkt.Dst) {
+			if h.SrcRouter != p.Topo.RouterOfNode(h.Src) || h.DstRouter != p.Topo.RouterOfNode(h.Dst) {
 				t.Fatal("router endpoints not filled")
 			}
-			counts[pkt.Dst]++
+			counts[h.Dst]++
 		}
 	}
 	offered := float64(generated) * 8 / float64(cycles) / float64(p.Topo.NumNodes())
@@ -77,12 +78,13 @@ func TestAdversarialDestinations(t *testing.T) {
 	for now := int64(0); now < 2000; now++ {
 		for n := 0; n < p.Topo.NumNodes(); n++ {
 			pkt := g.Generate(now, packet.NodeID(n))
-			if pkt == nil {
+			if pkt == packet.NilRef {
 				continue
 			}
 			seen++
-			srcGroup := df.GroupOf(pkt.SrcRouter)
-			dstGroup := df.GroupOf(pkt.DstRouter)
+			h := p.Store.Hdr(pkt)
+			srcGroup := df.GroupOf(h.SrcRouter)
+			dstGroup := df.GroupOf(h.DstRouter)
 			if dstGroup != (srcGroup+1)%df.NumGroups() {
 				t.Fatalf("packet from group %d went to group %d, want %d", srcGroup, dstGroup, (srcGroup+1)%df.NumGroups())
 			}
@@ -112,13 +114,14 @@ func TestBurstyLoadAndBurstLength(t *testing.T) {
 	for now := int64(0); now < cycles; now++ {
 		for n := 0; n < p.Topo.NumNodes(); n++ {
 			pkt := g.Generate(now, packet.NodeID(n))
-			if pkt == nil {
+			if pkt == packet.NilRef {
 				continue
 			}
 			generated++
 			if n != 0 {
 				continue
 			}
+			pktDst := p.Store.Hdr(pkt).Dst
 			if now-lastGen > int64(p.PacketSize) {
 				// A gap larger than the back-to-back spacing means a new burst.
 				if cur > 0 {
@@ -127,13 +130,13 @@ func TestBurstyLoadAndBurstLength(t *testing.T) {
 				cur = 0
 				lastDst = -1
 			}
-			if lastDst >= 0 && pkt.Dst != lastDst {
+			if lastDst >= 0 && pktDst != lastDst {
 				if cur > 0 {
 					bursts = append(bursts, cur)
 				}
 				cur = 0
 			}
-			lastDst = pkt.Dst
+			lastDst = pktDst
 			lastGen = now
 			cur++
 		}
@@ -163,30 +166,30 @@ func TestReactiveReplies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req := packet.New(7, 3, 11, 8, packet.Request, 0)
-	req.SrcRouter = p.Topo.RouterOfNode(3)
-	req.DstRouter = p.Topo.RouterOfNode(11)
+	req := p.Store.Alloc(7, 3, 11, 8, packet.Request, 0)
+	fillEndpoints(p.Topo, p.Store.Hdr(req))
 	g.Delivered(100, req)
 
-	if g.PendingReplies(packet.NodeID(3)) != nil {
+	if g.PendingReplies(packet.NodeID(3)) != packet.NilRef {
 		t.Fatal("the reply is owed by the request's destination, not its source")
 	}
 	reply := g.PendingReplies(packet.NodeID(11))
-	if reply == nil {
+	if reply == packet.NilRef {
 		t.Fatal("destination owes a reply")
 	}
-	if reply.Class != packet.Reply || reply.Src != 11 || reply.Dst != 3 || reply.Size != 8 {
-		t.Fatalf("malformed reply: %v", reply)
+	h := p.Store.Hdr(reply)
+	if h.Class != packet.Reply || h.Src != 11 || h.Dst != 3 || h.Size != 8 {
+		t.Fatalf("malformed reply: %v", p.Store.Describe(reply))
 	}
-	if reply.ReplyTo != req {
+	if p.Store.ReplyTo(reply) != req {
 		t.Fatal("reply should reference its request")
 	}
-	if g.PendingReplies(packet.NodeID(11)) != nil {
+	if g.PendingReplies(packet.NodeID(11)) != packet.NilRef {
 		t.Fatal("only one reply per request")
 	}
 	// Delivered replies do not generate further traffic.
 	g.Delivered(200, reply)
-	if g.PendingReplies(packet.NodeID(3)) != nil {
+	if g.PendingReplies(packet.NodeID(3)) != packet.NilRef {
 		t.Fatal("replies must not trigger replies")
 	}
 }
@@ -202,10 +205,10 @@ func TestGeneratorDeterminism(t *testing.T) {
 			for n := 0; n < p.Topo.NumNodes(); n++ {
 				pa := a.Generate(now, packet.NodeID(n))
 				pb := b.Generate(now, packet.NodeID(n))
-				if (pa == nil) != (pb == nil) {
+				if (pa == packet.NilRef) != (pb == packet.NilRef) {
 					t.Fatalf("%s: generation mismatch at cycle %d node %d", name, now, n)
 				}
-				if pa != nil && pa.Dst != pb.Dst {
+				if pa != packet.NilRef && p.Store.Hdr(pa).Dst != p.Store.Hdr(pb).Dst {
 					t.Fatalf("%s: destination mismatch at cycle %d node %d", name, now, n)
 				}
 			}
@@ -226,7 +229,7 @@ func TestZeroLoad(t *testing.T) {
 		g, _ := New(name, p, false)
 		for now := int64(0); now < 1000; now++ {
 			for n := 0; n < p.Topo.NumNodes(); n++ {
-				if g.Generate(now, packet.NodeID(n)) != nil {
+				if g.Generate(now, packet.NodeID(n)) != packet.NilRef {
 					t.Fatalf("%s generated traffic at zero load", name)
 				}
 			}

@@ -208,6 +208,24 @@ func TestCheckMaxWallSkipsButStillChecksDigests(t *testing.T) {
 	}
 }
 
+// TestCheckMaxWallWorkersAware: the skip estimate divides the recorded
+// (serial) wall by the worker count, so a budget that an entry blows serially
+// no longer skips it when the parallel re-run would fit.
+func TestCheckMaxWallWorkersAware(t *testing.T) {
+	_, m := recordSmokeTree(t)
+	budget := 600 * time.Millisecond // entry claims ≈1s serial
+	if r := checkOne(t, m, Options{MaxWall: budget, Workers: 1}); r.Status != Skip {
+		t.Fatalf("serial estimate should skip the 1s entry on a %s budget: %s", budget, r.Summary())
+	}
+	r := checkOne(t, m, Options{MaxWall: budget, Workers: 4})
+	if r.Status != Pass {
+		t.Fatalf("4-worker estimate (~0.25s) should re-run within the %s budget: %s", budget, r.Summary())
+	}
+	if r.Replications == 0 {
+		t.Error("workers-aware pass did not actually re-simulate")
+	}
+}
+
 // TestCheckMissingArtifactFails: a deleted recording is a FAIL with a
 // readable reason, not a harness error.
 func TestCheckMissingArtifactFails(t *testing.T) {

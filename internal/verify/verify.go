@@ -101,10 +101,17 @@ type Options struct {
 	// <WorkDir>/<id> (CI uploads these on failure). Empty uses a private
 	// temporary directory, removed afterwards.
 	WorkDir string
-	// MaxWall, when positive, skips the re-run of entries whose ApproxWallS
-	// exceeds it; their digests are still verified. This is what lets PR CI
-	// check the cheap entries end to end without paying for the big ones.
+	// MaxWall, when positive, skips the re-run of entries whose estimated
+	// wall exceeds it; their digests are still verified. This is what lets PR
+	// CI check the cheap entries end to end without paying for the big ones.
 	MaxWall time.Duration
+	// Workers is the concurrent replication-worker count the wall estimate
+	// assumes: an entry's recorded ApproxWallS (measured serial) is divided
+	// by Workers before the MaxWall comparison, so a budget that would be
+	// blown serially no longer skips entries that fit when run parallel. The
+	// estimate is an idealized linear-speedup bound, good enough for a skip
+	// heuristic. 0 or 1 keeps the serial estimate.
+	Workers int
 	// CorruptFresh is the negative-path self-test: "export" or "report"
 	// flips one byte of the named freshly-produced artefact before
 	// comparing, so a run that still PASSes proves the comparator is broken.
@@ -208,10 +215,21 @@ func checkEntry(m *Manifest, e Entry, scratch string, opts Options) Result {
 
 	// Layer 2 — reproducibility: re-simulate into a scratch results
 	// directory and demand byte-identical artefacts.
-	if opts.MaxWall > 0 && e.ApproxWallS > opts.MaxWall.Seconds() {
-		res.Status = Skip
-		res.Detail = fmt.Sprintf("re-run skipped: approx wall %.0fs exceeds -max-wall %s (recorded digests verified)", e.ApproxWallS, opts.MaxWall)
-		return done()
+	if opts.MaxWall > 0 {
+		est := e.ApproxWallS
+		if opts.Workers > 1 {
+			est = e.ApproxWallS / float64(opts.Workers)
+		}
+		if est > opts.MaxWall.Seconds() {
+			res.Status = Skip
+			if opts.Workers > 1 {
+				res.Detail = fmt.Sprintf("re-run skipped: approx wall %.0fs (~%.0fs at %d workers) exceeds -max-wall %s (recorded digests verified)",
+					e.ApproxWallS, est, opts.Workers, opts.MaxWall)
+			} else {
+				res.Detail = fmt.Sprintf("re-run skipped: approx wall %.0fs exceeds -max-wall %s (recorded digests verified)", e.ApproxWallS, opts.MaxWall)
+			}
+			return done()
+		}
 	}
 	gotExport, gotReport, reps, err := rerun(m, e, scratch, expected.Revision, opts)
 	if err != nil {
